@@ -1,0 +1,66 @@
+"""Regenerate docs/API.md from the package's docstrings.
+
+Usage:  python docs/generate_api.py
+"""
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+
+import repro
+
+OUTPUT = pathlib.Path(__file__).parent / "API.md"
+
+
+def first_line(obj):
+    doc = inspect.getdoc(obj)
+    return doc.splitlines()[0] if doc else ""
+
+
+def main():
+    lines = ["# API reference",
+             "",
+             "Generated from the package docstrings "
+             "(`python docs/generate_api.py` regenerates this file).",
+             ""]
+    modules = [info.name
+               for info in pkgutil.walk_packages(repro.__path__,
+                                                 prefix="repro.")
+               if not info.name.endswith("__main__")]
+    for name in sorted(modules):
+        module = importlib.import_module(name)
+        lines.append(f"## `{name}`")
+        lines.append("")
+        summary = first_line(module)
+        if summary:
+            lines.extend([summary, ""])
+        members = []
+        for attr_name, attr in vars(module).items():
+            if attr_name.startswith("_"):
+                continue
+            if inspect.isclass(attr) and attr.__module__ == name:
+                members.append((f"class `{attr_name}`", first_line(attr)))
+                for meth_name, meth in vars(attr).items():
+                    if meth_name.startswith("_"):
+                        continue
+                    if callable(meth) or isinstance(meth, property):
+                        target = (meth.fget if isinstance(meth, property)
+                                  else meth)
+                        members.append(
+                            (f"&nbsp;&nbsp;`{attr_name}.{meth_name}`",
+                             first_line(target)))
+            elif inspect.isfunction(attr) and attr.__module__ == name:
+                members.append((f"`{attr_name}()`", first_line(attr)))
+        if members:
+            lines.append("| item | summary |")
+            lines.append("|---|---|")
+            for item, summary in members:
+                lines.append(f"| {item} | {(summary or '').replace('|', '|')} |")
+            lines.append("")
+    OUTPUT.write_text("\n".join(lines) + "\n")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

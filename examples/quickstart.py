@@ -1,0 +1,76 @@
+"""Quickstart: the page-overlay framework in five minutes.
+
+Builds a simulated machine, forks a process, and contrasts
+overlay-on-write with classic copy-on-write on the same write — the
+paper's headline mechanism (Sections 2.2 and 5.1).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.address import PAGE_SIZE
+from repro.osmodel.cow import CopyOnWritePolicy
+from repro.osmodel.kernel import Kernel
+from repro.techniques.overlay_on_write import OverlayOnWritePolicy
+
+
+def demo(policy_name):
+    # A kernel wires up the whole machine of the paper's Table 2: cores,
+    # TLBs with OBitVectors, three cache levels, the DDR3 channel, the
+    # Overlay Memory Store, and the OMT behind the memory controller.
+    kernel = Kernel()
+    parent = kernel.create_process()
+    kernel.mmap(parent, 0x100, 16, fill=b"parent-data!")
+
+    if policy_name == "overlay-on-write":
+        kernel.install_cow_policy(OverlayOnWritePolicy(kernel))
+    else:
+        kernel.install_cow_policy(CopyOnWritePolicy(kernel))
+
+    child = kernel.fork(parent)
+    marker = kernel.memory_marker()
+
+    # The child updates 8 bytes in each of 10 pages.
+    base = 0x100 * PAGE_SIZE
+    total_latency = 0
+    for page in range(10):
+        total_latency += kernel.system.write(
+            child.asid, base + page * PAGE_SIZE, b"child!!!_")
+
+    # Both processes see their own data — isolation is identical; only
+    # the cost differs.
+    child_view, _ = kernel.system.read(child.asid, base, 9)
+    parent_view, _ = kernel.system.read(parent.asid, base, 12)
+    assert child_view == b"child!!!_"
+    assert parent_view == b"parent-data!"
+
+    kernel.system.hierarchy.flush_dirty()  # realise lazy overlay space
+    extra = kernel.additional_memory_since(marker)
+    print(f"{policy_name:>17}: {total_latency:>7d} cycles for 10 writes, "
+          f"{extra / 1024:6.1f} KB extra memory")
+    return kernel, child
+
+
+def main():
+    print("First write to a forked page, copy-on-write vs overlay-on-write")
+    demo("copy-on-write")
+    kernel, child = demo("overlay-on-write")
+
+    # Under overlay-on-write each written page holds exactly one overlay
+    # line; the rest of the page still comes from the shared frame.
+    lines = kernel.system.overlay_line_count(child.asid, 0x100)
+    print(f"\noverlay lines on the first written page: {lines} "
+          f"(1 line = 64B instead of a 4KB page copy)")
+
+    # When the overlay stops paying off, the OS promotes the page
+    # (Section 4.3.4) back to a plain physical page.
+    new_ppn = kernel.allocator.allocate()
+    kernel.system.promote(child.asid, 0x100, "copy-and-commit",
+                          new_ppn=new_ppn)
+    data, _ = kernel.system.read(child.asid, 0x100 * PAGE_SIZE, 9)
+    assert data == b"child!!!_"
+    print("after copy-and-commit promotion the child keeps its data and "
+          "owns a private frame")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""A memcheck-style tool on overlay shadow memory (Section 5.3.4).
+
+Fine-grained metadata is the classic use of shadow memory: track, per
+8-byte word, whether it has been initialised, and flag reads of
+uninitialised data.  Tools like memcheck pay for software shadow lookups
+on every access; with overlays, the shadow bytes live in the page's
+overlay (the Overlay Address Space *is* the shadow address space) and a
+``metadata load`` reads them directly — and the shadow costs 64B per
+*line* that actually has metadata, not a shadow page per data page.
+
+Run:  python examples/shadow_memory_tool.py
+"""
+
+from repro.core.address import PAGE_SIZE
+from repro.osmodel.kernel import Kernel
+from repro.techniques.metadata import MetadataManager, WORD_BYTES
+
+HEAP_PAGES = 8
+HEAP_VPN = 0x600
+HEAP = HEAP_VPN * PAGE_SIZE
+
+TAG_UNINIT = 0
+TAG_INIT = 1
+TAG_FREED = 2
+
+
+class MemCheck:
+    """Initialised-memory checking over overlay shadow memory."""
+
+    def __init__(self):
+        self.kernel = Kernel()
+        self.process = self.kernel.create_process()
+        self.kernel.mmap(self.process, HEAP_VPN, HEAP_PAGES)
+        self.shadow = MetadataManager(self.kernel, self.process)
+        self._brk = HEAP
+        self.reports = []
+
+    # -- a toy allocator instrumented with shadow updates ---------------------
+
+    def malloc(self, size):
+        addr = self._brk
+        self._brk += ((size + WORD_BYTES - 1) // WORD_BYTES) * WORD_BYTES
+        # Fresh allocations are uninitialised (tag stays 0).
+        return addr
+
+    def free(self, addr, size):
+        word = (addr // WORD_BYTES) * WORD_BYTES
+        while word < addr + size:
+            self.shadow.metadata_store(word, TAG_FREED)
+            word += WORD_BYTES
+
+    # -- instrumented accesses ---------------------------------------------------
+
+    def store(self, addr, data):
+        self.kernel.system.write(self.process.asid, addr, data)
+        word = (addr // WORD_BYTES) * WORD_BYTES
+        while word < addr + len(data):
+            self.shadow.metadata_store(word, TAG_INIT)
+            word += WORD_BYTES
+
+    def load(self, addr, size):
+        word = (addr // WORD_BYTES) * WORD_BYTES
+        while word < addr + size:
+            tag = self.shadow.metadata_load(word)
+            if tag == TAG_UNINIT:
+                self.reports.append(
+                    f"uninitialised read of {size}B at {addr:#x}")
+                break
+            if tag == TAG_FREED:
+                self.reports.append(
+                    f"use-after-free read of {size}B at {addr:#x}")
+                break
+            word += WORD_BYTES
+        data, _ = self.kernel.system.read(self.process.asid, addr, size)
+        return data
+
+
+def main():
+    tool = MemCheck()
+
+    buf = tool.malloc(64)
+    tool.store(buf, b"A" * 32)          # initialise only the first half
+    tool.load(buf, 16)                  # fine
+    tool.load(buf + 32, 8)              # uninitialised!
+
+    stale = tool.malloc(32)
+    tool.store(stale, b"B" * 32)
+    tool.free(stale, 32)
+    tool.load(stale, 8)                 # use-after-free!
+
+    print("memcheck reports:")
+    for report in tool.reports:
+        print("  -", report)
+    assert len(tool.reports) == 2
+
+    shadow_bytes = tool.shadow.shadow_bytes
+    page_granularity = HEAP_PAGES * PAGE_SIZE  # one shadow page per page
+    print(f"\nshadow memory used: {shadow_bytes} B "
+          f"(a page-granularity shadow scheme would reserve "
+          f"{page_granularity} B)")
+    print("regular loads/stores were never slowed: the shadow lives in "
+          "overlays, off the data path")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so `pip install -e .` works in offline
+environments whose setuptools lacks PEP 660 editable-wheel support
+(pip falls back to the legacy `setup.py develop` path).
+"""
+
+from setuptools import setup
+
+setup()

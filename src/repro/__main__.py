@@ -1,0 +1,110 @@
+"""Command-line experiment runner: regenerate any table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro table2
+    python -m repro figure8 figure9
+    python -m repro all          # everything (several minutes)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def _run_table2():
+    from .eval.config import DEFAULT_CONFIG
+    print("Table 2: Main parameters of our simulated system")
+    print(DEFAULT_CONFIG.format_table())
+
+
+def _run_figure8():
+    from .eval.fork_experiment import format_figure8, run_suite, summarize
+    results = run_suite()
+    print(format_figure8(results))
+    print(f"mean memory reduction: "
+          f"{summarize(results)['memory_reduction']:.0%}  [paper: 53%]")
+
+
+def _run_figure9():
+    from .eval.fork_experiment import format_figure9, run_suite, summarize
+    results = run_suite()
+    print(format_figure9(results))
+    print(f"mean performance improvement: "
+          f"{summarize(results)['performance_improvement']:.0%}  "
+          f"[paper: 15%]")
+
+
+def _run_figure10():
+    from .eval.reporting import series_plot
+    from .eval.spmv_experiment import format_figure10, run_figure10
+    points = run_figure10(matrix_count=16, repeats=2)
+    print(format_figure10(points))
+    print()
+    print(series_plot([(p.locality, p.relative_performance) for p in points],
+                      title="overlay performance relative to CSR "
+                            "(above the line: overlays win)",
+                      x_label="non-zero value locality L",
+                      y_label="CSR cycles / overlay cycles",
+                      y_reference=1.0))
+
+
+def _run_figure11():
+    from .eval.granularity_experiment import format_figure11, run_figure11
+    print(format_figure11(run_figure11(matrix_count=16)))
+
+
+def _run_sparsity():
+    from .eval.sparsity_sweep import format_sweep, run_sparsity_sweep
+    print(format_sweep(run_sparsity_sweep()))
+
+
+def _run_hardware_cost():
+    from .eval.hardware_cost import compute_hardware_cost, format_hardware_cost
+    print(format_hardware_cost(compute_hardware_cost()))
+
+
+def _run_remap_latency():
+    from .eval.remap_latency import format_remap_latency, measure_remap_latency
+    print(format_remap_latency(measure_remap_latency()))
+
+
+EXPERIMENTS = {
+    "table2": (_run_table2, "Table 2: simulated system configuration"),
+    "figure8": (_run_figure8, "Figure 8: additional memory after fork"),
+    "figure9": (_run_figure9, "Figure 9: CPI after fork"),
+    "figure10": (_run_figure10, "Figure 10: SpMV overlays vs CSR"),
+    "figure11": (_run_figure11, "Figure 11: memory overhead by granularity"),
+    "sparsity": (_run_sparsity, "Section 5.2 sparsity sweep vs dense"),
+    "hardware-cost": (_run_hardware_cost, "Section 4.5 hardware cost"),
+    "remap-latency": (_run_remap_latency, "Remap critical-path latency"),
+}
+
+
+def main(argv=None):
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args == ["list"]:
+        print(__doc__)
+        print("experiments:")
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"  {name:<14} {description}")
+        return 0
+    targets = list(EXPERIMENTS) if args == ["all"] else args
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"try `python -m repro list`")
+        return 2
+    for i, target in enumerate(targets):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        started = time.time()
+        EXPERIMENTS[target][0]()
+        print(f"[{target} done in {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

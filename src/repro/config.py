@@ -1,0 +1,115 @@
+"""Table 2: the simulated system configuration.
+
+A single source of truth for every timing parameter, matching the
+paper's Table 2.  The structural components read their defaults from the
+same values this table reports; the ``bench_table2`` benchmark prints it
+in the paper's layout, and ablations override single fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Every Table 2 parameter, in paper order."""
+
+    # Processor
+    frequency_ghz: float = 2.67
+    issue_width: int = 1
+    instruction_window: int = 64
+    cache_line_bytes: int = 64
+    # TLB
+    page_bytes: int = 4096
+    l1_tlb_entries: int = 64
+    l1_tlb_ways: int = 4
+    l1_tlb_latency: int = 1
+    l2_tlb_entries: int = 1024
+    l2_tlb_latency: int = 10
+    tlb_miss_latency: int = 1000
+    # L1 cache
+    l1_bytes: int = 64 * 1024
+    l1_ways: int = 4
+    l1_tag_latency: int = 1
+    l1_data_latency: int = 2
+    l1_policy: str = "lru"
+    # L2 cache
+    l2_bytes: int = 512 * 1024
+    l2_ways: int = 8
+    l2_tag_latency: int = 2
+    l2_data_latency: int = 8
+    l2_policy: str = "lru"
+    # Prefetcher
+    prefetcher_entries: int = 16
+    prefetcher_degree: int = 4
+    prefetcher_distance: int = 24
+    # L3 cache
+    l3_bytes: int = 2 * 1024 * 1024
+    l3_ways: int = 16
+    l3_tag_latency: int = 10
+    l3_data_latency: int = 24
+    l3_policy: str = "drrip"
+    # DRAM controller
+    row_policy: str = "open"
+    scheduler: str = "FR-FCFS drain-when-full"
+    write_buffer_entries: int = 64
+    omt_cache_entries: int = 64
+    miss_latency: int = 1000
+    # DRAM and bus
+    dram_type: str = "DDR3-1066"
+    channels: int = 1
+    ranks: int = 1
+    banks: int = 8
+    bus_bytes: int = 8
+    burst_length: int = 8
+    row_buffer_bytes: int = 8192
+
+    def as_rows(self) -> List[Tuple[str, str]]:
+        """Rows in the layout of Table 2."""
+        return [
+            ("Processor",
+             f"{self.frequency_ghz} GHz, single issue, out-of-order, "
+             f"{self.instruction_window} entry instruction window, "
+             f"{self.cache_line_bytes}B cache lines"),
+            ("TLB",
+             f"{self.page_bytes // 1024}K pages, {self.l1_tlb_entries}-entry "
+             f"{self.l1_tlb_ways}-way associative L1 ({self.l1_tlb_latency} cycle), "
+             f"{self.l2_tlb_entries}-entry L2 ({self.l2_tlb_latency} cycles), "
+             f"TLB miss = {self.tlb_miss_latency} cycles"),
+            ("L1 Cache",
+             f"{self.l1_bytes // 1024}KB, {self.l1_ways}-way associative, "
+             f"tag/data latency = {self.l1_tag_latency}/{self.l1_data_latency} cycles, "
+             f"parallel tag/data lookup, LRU policy"),
+            ("L2 Cache",
+             f"{self.l2_bytes // 1024}KB, {self.l2_ways}-way associative, "
+             f"tag/data latency = {self.l2_tag_latency}/{self.l2_data_latency} cycles, "
+             f"parallel tag/data lookup, LRU policy"),
+            ("Prefetcher",
+             f"Stream prefetcher, monitor L2 misses and prefetch into L3, "
+             f"{self.prefetcher_entries} entries, degree = {self.prefetcher_degree}, "
+             f"distance = {self.prefetcher_distance}"),
+            ("L3 Cache",
+             f"{self.l3_bytes // (1024 * 1024)}MB, {self.l3_ways}-way associative, "
+             f"tag/data latency = {self.l3_tag_latency}/{self.l3_data_latency} cycles, "
+             f"serial tag/data lookup, DRRIP policy"),
+            ("DRAM Controller",
+             f"Open row, FR-FCFS drain when full, "
+             f"{self.write_buffer_entries}-entry write buffer, "
+             f"{self.omt_cache_entries}-entry OMT cache, "
+             f"miss latency = {self.miss_latency} cycles"),
+            ("DRAM and Bus",
+             f"{self.dram_type}, {self.channels} channel, {self.ranks} rank, "
+             f"{self.banks} banks, {self.bus_bytes}B-wide data bus, "
+             f"burst length = {self.burst_length}, "
+             f"{self.row_buffer_bytes // 1024}KB row buffer"),
+        ]
+
+    def format_table(self) -> str:
+        rows = self.as_rows()
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"{name:<{width}}  {value}" for name, value in rows)
+
+
+DEFAULT_CONFIG = SystemConfig()

@@ -1,0 +1,569 @@
+"""The page-overlay framework facade — access semantics of Section 2.1,
+memory operations of Section 4.3, and overlay promotion of Section 4.3.4.
+
+:class:`OverlaySystem` wires every hardware structure together:
+
+* per-core TLBs and MMUs (translation + OBitVector fill),
+* the shared three-level cache hierarchy and prefetcher,
+* the DRAM channel and the byte-accurate main memory,
+* the memory controller with its OMT, OMT cache and Overlay Memory Store,
+* the coherence network carrying *overlaying read exclusive* messages.
+
+Access semantics (Figure 2): a cache line whose OBitVector bit is set is
+accessed from the overlay; all other lines are accessed from the regular
+physical page.  The three memory operations of Section 4.3 map to:
+
+* **read** / **simple write** — :meth:`OverlaySystem.read` /
+  :meth:`OverlaySystem.write` hitting either space directly;
+* **overlaying write** — :meth:`OverlaySystem.overlaying_write`, the
+  three-step remap (retag, coherence message, write) that replaces the
+  baseline's page copy + TLB shootdown.
+
+Policy for writes to copy-on-write pages is pluggable through the
+``cow_handler`` hook so the copy-on-write baseline (:mod:`repro.osmodel.cow`)
+and overlay-on-write (:mod:`repro.techniques.overlay_on_write`) run on the
+same substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .address import (LINE_SIZE, LINES_PER_PAGE, PAGE_SIZE, line_index,
+                      line_offset, line_tag_of, overlay_page_number,
+                      page_number)
+from .coherence import CoherenceNetwork
+from .mmu import MemoryController, MMU, TranslationResult
+from .oms import OverlayMemoryStore, ZERO_LINE
+from .page_table import PTE, PageFault, PageTable
+from .tlb import TLB
+from ..mem.dram import DRAM
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.mainmemory import MainMemory
+
+#: Frame number where the default OMS page pool begins — far above any
+#: frame a workload will map, so the two regions of main memory
+#: (Ê in Figure 6) never collide in the default wiring.
+DEFAULT_OMS_FRAME_BASE = 1 << 30
+
+#: Promotion actions of Section 4.3.4.
+PROMOTE_ACTIONS = ("copy-and-commit", "commit", "discard")
+
+#: Signature of a copy-on-write policy hook: called on a write to a CoW
+#: page whose target line is not in the overlay; must perform the store
+#: and return the latency of doing so.
+CowHandler = Callable[["OverlaySystem", int, int, bytes, int,
+                       TranslationResult], int]
+
+
+class CowWriteFault(RuntimeError):
+    """Raised when no copy-on-write handler is installed."""
+
+
+@dataclass
+class FrameworkStats:
+    reads: int = 0
+    writes: int = 0
+    overlay_hits: int = 0
+    overlaying_writes: int = 0
+    simple_overlay_writes: int = 0
+    cow_triggers: int = 0
+    promotions: Dict[str, int] = field(
+        default_factory=lambda: {action: 0 for action in PROMOTE_ACTIONS})
+
+
+def default_cow_handler(system: "OverlaySystem", asid: int, vaddr: int,
+                        data: bytes, core: int,
+                        translation: TranslationResult) -> int:
+    """Overlay-on-write: the framework's native CoW response (Section 2.2)."""
+    return system.overlaying_write(asid, vaddr, data, core=core,
+                                   translation=translation)
+
+
+class OverlaySystem:
+    """A complete simulated machine with page-overlay support."""
+
+    def __init__(self, num_cores: int = 1,
+                 cow_handler: Optional[CowHandler] = None,
+                 oms_request_pages: Optional[Callable[[int], List[int]]] = None,
+                 oms_initial_pages: int = 16,
+                 omt_cache_entries: Optional[int] = None,
+                 overlays_enabled: bool = True,
+                 oms_page_per_overlay: bool = False,
+                 config=None):
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        if config is None:
+            from ..config import DEFAULT_CONFIG
+            config = DEFAULT_CONFIG
+        self.config = config
+        if omt_cache_entries is None:
+            omt_cache_entries = config.omt_cache_entries
+        self.main_memory = MainMemory()
+        self.dram = DRAM(write_buffer_capacity=config.write_buffer_entries)
+        self._oms_next_frame = DEFAULT_OMS_FRAME_BASE
+        self.oms = OverlayMemoryStore(
+            request_pages=oms_request_pages or self._default_oms_pages,
+            initial_pages=oms_initial_pages,
+            page_per_overlay=oms_page_per_overlay)
+        self.controller = MemoryController(
+            self.main_memory, self.dram, self.oms,
+            omt_cache_entries=omt_cache_entries)
+        from ..mem.prefetcher import StreamPrefetcher
+        self.hierarchy = MemoryHierarchy(
+            dram=self.dram,
+            resolve_miss=self.controller.resolve_miss,
+            handle_writeback=self.controller.handle_writeback,
+            fetch_data=self.controller.fetch_data,
+            l1_kwargs=dict(size_bytes=config.l1_bytes, ways=config.l1_ways,
+                           tag_latency=config.l1_tag_latency,
+                           data_latency=config.l1_data_latency,
+                           policy=config.l1_policy),
+            l2_kwargs=dict(size_bytes=config.l2_bytes, ways=config.l2_ways,
+                           tag_latency=config.l2_tag_latency,
+                           data_latency=config.l2_data_latency,
+                           policy=config.l2_policy),
+            l3_kwargs=dict(size_bytes=config.l3_bytes, ways=config.l3_ways,
+                           tag_latency=config.l3_tag_latency,
+                           data_latency=config.l3_data_latency,
+                           policy=config.l3_policy),
+            prefetcher=StreamPrefetcher(
+                entries=config.prefetcher_entries,
+                degree=config.prefetcher_degree,
+                distance=config.prefetcher_distance))
+        self.page_tables: Dict[int, PageTable] = {}
+        self.tlbs = [TLB(l1_entries=config.l1_tlb_entries,
+                         l1_ways=config.l1_tlb_ways,
+                         l2_entries=config.l2_tlb_entries,
+                         l1_latency=config.l1_tlb_latency,
+                         l2_latency=config.l2_tlb_latency,
+                         miss_latency=config.tlb_miss_latency)
+                     for _ in range(num_cores)]
+        self.coherence = CoherenceNetwork(tlbs=list(self.tlbs))
+        self.mmus = [MMU(tlb, self.page_tables, self.controller)
+                     for tlb in self.tlbs]
+        self.cow_handler: CowHandler = cow_handler or default_cow_handler
+        self.overlays_enabled = overlays_enabled
+        self.stats = FrameworkStats()
+        self.clock = 0
+        self._serializing_event = False
+
+    # -- trap semantics ---------------------------------------------------------
+
+    def note_serializing_event(self) -> None:
+        """Mark the in-flight access as pipeline-serializing (a trap).
+
+        A software page-fault handler (the copy-on-write baseline) flushes
+        the pipeline and runs in the kernel: nothing overlaps it.  The
+        timing model drains the instruction window around such accesses.
+        Hardware-handled events (overlaying writes) never set this.
+        """
+        self._serializing_event = True
+
+    def consume_serializing_event(self) -> bool:
+        flagged = self._serializing_event
+        self._serializing_event = False
+        return flagged
+
+    def _default_oms_pages(self, count: int) -> List[int]:
+        base = self._oms_next_frame
+        self._oms_next_frame += count
+        return [(base + i) * PAGE_SIZE for i in range(count)]
+
+    # -- address-space management (OS-facing) ---------------------------------
+
+    def register_address_space(self, asid: int) -> PageTable:
+        """Create (or return) the page table for *asid*."""
+        table = self.page_tables.get(asid)
+        if table is None:
+            table = PageTable(asid=asid)
+            self.page_tables[asid] = table
+        return table
+
+    def map_page(self, asid: int, vpn: int, ppn: int, *, writable: bool = True,
+                 cow: bool = False, overlays_enabled: Optional[bool] = None) -> PTE:
+        """Install a 4KB mapping (creating the address space if needed)."""
+        if overlays_enabled is None:
+            overlays_enabled = self.overlays_enabled
+        table = self.register_address_space(asid)
+        return table.map(vpn, ppn, writable=writable, cow=cow,
+                         overlays_enabled=overlays_enabled)
+
+    def update_mapping(self, asid: int, vpn: int, **flags) -> PTE:
+        """Edit a PTE and invalidate stale TLB copies everywhere."""
+        table = self.page_tables[asid]
+        pte = table.update(vpn, **flags)
+        for tlb in self.tlbs:
+            tlb.shootdown(asid, vpn)
+        return pte
+
+    # -- the demand access path (Section 4.3) ----------------------------------
+
+    def _translate(self, asid: int, vaddr: int, write: bool,
+                   core: int) -> TranslationResult:
+        return self.mmus[core].translate(asid, page_number(vaddr), write=write)
+
+    def _target_tag(self, asid: int, vaddr: int,
+                    translation: TranslationResult) -> int:
+        """Pick the overlay or the physical tag per the OBitVector."""
+        vpn = page_number(vaddr)
+        line = line_index(vaddr)
+        entry = translation.entry
+        if entry.pte.overlays_enabled and entry.obitvector.is_set(line):
+            self.stats.overlay_hits += 1
+            return line_tag_of(overlay_page_number(asid, vpn), line)
+        return line_tag_of(entry.pte.ppn, line)
+
+    def read(self, asid: int, vaddr: int, size: int = 8,
+             core: int = 0) -> tuple:
+        """Read *size* bytes at *vaddr*; returns ``(data, latency_cycles)``.
+
+        The access may span cache lines and even pages; every line is a
+        separate (freshly translated) hierarchy access, as in hardware.
+        """
+        self.stats.reads += 1
+        latency = 0
+        out = bytearray()
+        cursor = vaddr
+        remaining = size
+        last_vpn = None
+        translation = None
+        while remaining > 0:
+            take = min(remaining, LINE_SIZE - line_offset(cursor))
+            vpn = page_number(cursor)
+            if vpn != last_vpn:
+                translation = self._translate(asid, cursor, write=False,
+                                              core=core)
+                latency += translation.latency
+                last_vpn = vpn
+            tag = self._target_tag(asid, cursor, translation)
+            result = self.hierarchy.access(tag, write=False,
+                                           now=self.clock + latency)
+            latency += result.latency
+            data = self.hierarchy.lookup_data(tag) or ZERO_LINE
+            start = line_offset(cursor)
+            out += data[start:start + take]
+            cursor += take
+            remaining -= take
+        return bytes(out), latency
+
+    def write(self, asid: int, vaddr: int, data: bytes, core: int = 0) -> int:
+        """Write *data* at *vaddr*; returns the latency in cycles.
+
+        Dispatches per Section 4.3: a line already in the overlay takes
+        the *simple write* path; a line of a copy-on-write page not in
+        the overlay triggers the installed CoW policy (overlaying write
+        by default); anything else is a regular store.  Writes may span
+        lines and pages.
+        """
+        self.stats.writes += 1
+        latency = 0
+        cursor = vaddr
+        payload = bytes(data)
+        while payload:
+            take = min(len(payload), LINE_SIZE - line_offset(cursor))
+            chunk, payload = payload[:take], payload[take:]
+            # Each line access consults the TLB afresh — essential when a
+            # CoW break remaps the page mid-way through a spanning write.
+            translation = self._translate(asid, cursor, write=True,
+                                          core=core)
+            latency += translation.latency
+            latency += self._write_one_line(asid, cursor, chunk, core,
+                                            translation,
+                                            now=self.clock + latency)
+            cursor += take
+        return latency
+
+    def _write_one_line(self, asid: int, vaddr: int, chunk: bytes, core: int,
+                        translation: TranslationResult, now: int) -> int:
+        vpn = page_number(vaddr)
+        line = line_index(vaddr)
+        entry = translation.entry
+        pte = entry.pte
+        in_overlay = pte.overlays_enabled and entry.obitvector.is_set(line)
+        if not in_overlay and pte.cow:
+            self.stats.cow_triggers += 1
+            if self.cow_handler is None:
+                raise CowWriteFault(f"CoW write at {vaddr:#x} with no handler")
+            return self.cow_handler(self, asid, vaddr, chunk, core, translation)
+        if in_overlay:
+            self.stats.simple_overlay_writes += 1
+            tag = line_tag_of(overlay_page_number(asid, vpn), line)
+        else:
+            tag = line_tag_of(pte.ppn, line)
+        return self._store_line(tag, vaddr, chunk, now)
+
+    def _store_line(self, tag: int, vaddr: int, chunk: bytes, now: int) -> int:
+        """Store *chunk* into the line holding *vaddr* (read-modify-write
+        when the store covers only part of the line)."""
+        offset = line_offset(vaddr)
+        if len(chunk) == LINE_SIZE and offset == 0:
+            return self.hierarchy.access(tag, write=True, data=chunk,
+                                         now=now).latency
+        fetch = self.hierarchy.access(tag, write=False, now=now)
+        current = self.hierarchy.lookup_data(tag) or ZERO_LINE
+        patched = current[:offset] + chunk + current[offset + len(chunk):]
+        store = self.hierarchy.access(tag, write=True, data=patched,
+                                      now=now + fetch.latency)
+        return fetch.latency + store.latency
+
+    # -- the overlaying write (Section 4.3.3) -----------------------------------
+
+    def overlaying_write(self, asid: int, vaddr: int, chunk: bytes,
+                         core: int = 0,
+                         translation: Optional[TranslationResult] = None) -> int:
+        """Remap one line into the overlay and perform the store.
+
+        The three steps of Section 4.3.3: (1) move the physical line's
+        data to the overlay address — a cache-tag rewrite when the line is
+        resident, an explicit fetch otherwise; (2) keep TLBs and the OMT
+        coherent with a single *overlaying read exclusive* message instead
+        of a TLB shootdown; (3) process the write as a simple write.
+        Overlay memory is NOT allocated here — that happens lazily when
+        the dirty line is evicted (the controller's writeback path).
+        """
+        if translation is None:
+            translation = self._translate(asid, vaddr, write=True, core=core)
+        vpn = page_number(vaddr)
+        line = line_index(vaddr)
+        pte = translation.entry.pte
+        if not pte.overlays_enabled:
+            raise CowWriteFault("overlays are disabled for this mapping")
+        opn = overlay_page_number(asid, vpn)
+        phys_tag = line_tag_of(pte.ppn, line)
+        ov_tag = line_tag_of(opn, line)
+        latency = 0
+
+        # Step 1: bring the physical line's current data under the overlay tag.
+        # A dirty physical copy must reach its frame first: the retag
+        # would otherwise abandon pre-remap data that exists nowhere else
+        # (a later `discard` promotion must find it in the frame).
+        dirty = self.hierarchy.dirty_data(phys_tag)
+        if dirty is not None:
+            self.main_memory.write_line(pte.ppn, line, dirty)
+            self.dram.write(phys_tag * LINE_SIZE, self.clock)
+            self.hierarchy.clean(phys_tag)
+        if not self.hierarchy.retag(phys_tag, ov_tag):
+            fetch = self.hierarchy.access(phys_tag, write=False,
+                                          now=self.clock + latency)
+            latency += fetch.latency
+            self.hierarchy.retag(phys_tag, ov_tag)
+
+        # Step 2: one coherence message updates every TLB and the OMT.
+        # The message is one-way: the store does not wait for the memory
+        # controller's OMT update (Section 4.3.3 — the request "is also
+        # sent to the memory controller so that it can update the
+        # OBitVector ... via the OMT Cache"), so only the on-chip message
+        # latency lands on the critical path.
+        omt_entry, _ = self.controller.omt_entry(opn, create=True,
+                                                 charge=False)
+        latency += self.coherence.overlaying_read_exclusive(
+            opn, line, omt_entry, now=self.clock + latency)
+
+        # Step 3: the store itself, now a simple overlay write.
+        latency += self._store_line(ov_tag, vaddr, chunk, now=self.clock + latency)
+        self.stats.overlaying_writes += 1
+        return latency
+
+    # -- software overlay population (sparse data, metadata, ...) -----------------
+
+    def install_overlay_line(self, asid: int, vpn: int, line: int,
+                             data: bytes) -> None:
+        """Directly place *data* into the overlay of (*asid*, *vpn*).
+
+        A software/OS-level operation used when a technique builds an
+        overlay up front (e.g. the sparse-data-structure representation of
+        Section 5.2 mapping non-zero lines into overlays).  Bypasses the
+        caches; updates the OMS, the OMT and every TLB.
+        """
+        opn = overlay_page_number(asid, vpn)
+        entry, _ = self.controller.omt_entry(opn, create=True, charge=False)
+        if entry.segment is None:
+            entry.segment = self.oms.allocate_segment(1)
+        entry.segment = self.oms.write_line(entry.segment, line, data)
+        # Any cached copy of a previous installation is now stale.
+        self.hierarchy.invalidate(line_tag_of(opn, line), writeback=False)
+        self.coherence.overlaying_read_exclusive(opn, line, entry)
+
+    def remove_overlay_line(self, asid: int, vpn: int, line: int) -> None:
+        """Drop one line from an overlay (dynamic sparse update path)."""
+        opn = overlay_page_number(asid, vpn)
+        entry, _ = self.controller.omt_entry(opn, charge=False)
+        if entry is None or not entry.obitvector.is_set(line):
+            return
+        entry.obitvector.clear(line)
+        if entry.segment is not None and entry.segment.has_line(line):
+            entry.segment.remove_line(line)
+        self.hierarchy.invalidate(line_tag_of(opn, line), writeback=False)
+        for tlb in self.tlbs:
+            cached = tlb.cached_entry(asid, vpn)
+            if cached is not None:
+                cached.obitvector.clear(line)
+
+    # -- data-fidelity views --------------------------------------------------------
+
+    def line_bytes(self, asid: int, vpn: int, line: int) -> bytes:
+        """Freshest 64 bytes of a line, per the overlay access semantics.
+
+        Checks the caches first (dirty copies), then the Overlay Memory
+        Store or the physical frame.  Never perturbs timing statistics.
+        """
+        table = self.page_tables[asid]
+        pte = table.entry(vpn)
+        if pte is None:
+            raise PageFault(vpn, False, "not present")
+        opn = overlay_page_number(asid, vpn)
+        omt_entry = self.controller.omt.lookup(opn)
+        if (pte.overlays_enabled and omt_entry is not None
+                and omt_entry.obitvector.is_set(line)):
+            cached = self.hierarchy.lookup_data(line_tag_of(opn, line))
+            if cached is not None:
+                return cached
+            segment = omt_entry.segment
+            if segment is not None and segment.has_line(line):
+                return segment.read_line(line)
+            return ZERO_LINE
+        cached = self.hierarchy.lookup_data(line_tag_of(pte.ppn, line))
+        if cached is not None:
+            return cached
+        return self.main_memory.read_line(pte.ppn, line)
+
+    def page_bytes(self, asid: int, vpn: int) -> bytes:
+        """The 4KB a process observes at *vpn* (overlay over physical)."""
+        return b"".join(self.line_bytes(asid, vpn, line)
+                        for line in range(LINES_PER_PAGE))
+
+    # -- DRAM page copy (used by promotion and the CoW baseline) --------------------
+
+    def copy_page_via_dram(self, src_ppn: int, dst_ppn: int,
+                           now: Optional[int] = None) -> int:
+        """Copy a 4KB frame line by line through DRAM; returns the latency.
+
+        Models the baseline copy-on-write page copy: 64 line reads and 64
+        line writes with whatever bank-level parallelism DRAM offers.  The
+        returned latency is the completion time of the slowest line.
+        """
+        start = self.clock if now is None else now
+        finish = start
+        for line in range(LINES_PER_PAGE):
+            src = line_tag_of(src_ppn, line) * LINE_SIZE
+            dst = line_tag_of(dst_ppn, line) * LINE_SIZE
+            read_done = start + self.dram.read(src, start)
+            write_latency = self.dram.write(dst, read_done)
+            finish = max(finish, read_done + write_latency)
+        self.main_memory.copy_page(src_ppn, dst_ppn)
+        return finish - start
+
+    def copy_page_via_cache(self, src_ppn: int, dst_ppn: int,
+                            now: Optional[int] = None) -> int:
+        """Copy a 4KB frame with CPU loads/stores through the hierarchy.
+
+        This is what the OS's page copy actually does, and it captures
+        both sides of the paper's Section 5.1 analysis: the copy fetches
+        the whole page with high memory-level parallelism (good when the
+        application will soon write most of its lines back-to-back, e.g.
+        cactus), but it pollutes the L1 with all 64 lines and doubles the
+        write bandwidth when the application updates lines spread out in
+        time.  Latency is the completion time of the slowest line, since
+        the copy loop's iterations are independent.
+        """
+        start = self.clock if now is None else now
+        finish = start
+        issue = start
+        for line in range(LINES_PER_PAGE):
+            src_tag = line_tag_of(src_ppn, line)
+            dst_tag = line_tag_of(dst_ppn, line)
+            read = self.hierarchy.access(src_tag, write=False, now=issue)
+            data = (self.hierarchy.lookup_data(src_tag)
+                    or self.main_memory.read_line(src_ppn, line))
+            write = self.hierarchy.access(dst_tag, write=True, data=data,
+                                          now=issue)
+            # Keep the destination frame in sync line by line: the copy
+            # must carry dirty cached source data, never the (possibly
+            # stale) source frame.
+            self.main_memory.write_line(dst_ppn, line, data)
+            finish = max(finish, issue + read.latency + write.latency)
+            issue += 2  # one load + one store issued per two cycles
+        return finish - start
+
+    # -- promotion (Section 4.3.4) ----------------------------------------------------
+
+    def promote(self, asid: int, vpn: int, action: str,
+                new_ppn: Optional[int] = None) -> int:
+        """Convert an overlay back to a regular physical page.
+
+        ``copy-and-commit`` merges physical + overlay data into *new_ppn*
+        and remaps the page there (overlay-on-write's promotion).
+        ``commit`` folds the overlay lines into the existing physical page
+        (successful speculation, checkpoint epochs).  ``discard`` throws
+        the overlay away (failed speculation).  Returns the latency; the
+        OS decides whether it lands on anyone's critical path.
+        """
+        if action not in PROMOTE_ACTIONS:
+            raise ValueError(f"unknown promotion action {action!r}")
+        table = self.page_tables[asid]
+        pte = table.entry(vpn)
+        if pte is None:
+            raise PageFault(vpn, False, "not present")
+        opn = overlay_page_number(asid, vpn)
+        omt_entry = self.controller.omt.lookup(opn)
+        overlay_lines = (list(omt_entry.obitvector.lines())
+                         if omt_entry is not None else [])
+        latency = 0
+
+        if action == "copy-and-commit":
+            if new_ppn is None:
+                raise ValueError("copy-and-commit requires a destination frame")
+            merged = b"".join(self.line_bytes(asid, vpn, line)
+                              for line in range(LINES_PER_PAGE))
+            self.main_memory.write_page(new_ppn, merged)
+            for line in range(LINES_PER_PAGE):
+                latency = max(latency, self.dram.write(
+                    line_tag_of(new_ppn, line) * LINE_SIZE, self.clock))
+            table.update(vpn, ppn=new_ppn, cow=False, writable=True)
+            latency += self.coherence.shootdown(asid, vpn)
+        elif action == "commit":
+            for line in overlay_lines:
+                data = self.line_bytes(asid, vpn, line)
+                self.main_memory.write_line(pte.ppn, line, data)
+                latency = max(latency, self.dram.write(
+                    line_tag_of(pte.ppn, line) * LINE_SIZE, self.clock))
+                self.hierarchy.invalidate(line_tag_of(pte.ppn, line),
+                                          writeback=False)
+
+        for line in overlay_lines:
+            self.hierarchy.invalidate(line_tag_of(opn, line), writeback=False)
+        latency += self.coherence.broadcast_commit(opn, omt_entry)
+        self.controller.drop_overlay(opn)
+        self.stats.promotions[action] += 1
+        return latency
+
+    # -- capacity accounting -------------------------------------------------------
+
+    @property
+    def overlay_memory_allocated(self) -> int:
+        """Main-memory bytes held by live overlay segments."""
+        return self.oms.allocated_bytes
+
+    def stats_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Every counter in the machine, grouped by component — the
+        whole-system telemetry view used by experiment reports."""
+        from ..mem.stats import StatRegistry
+        registry = StatRegistry()
+        registry.register("framework", self.stats)
+        registry.register("dram", self.dram.stats)
+        registry.register("oms", self.oms.stats)
+        registry.register("omt_cache", self.controller.omt_cache.stats)
+        registry.register("controller", self.controller.stats)
+        registry.register("coherence", self.coherence.stats)
+        registry.register("prefetcher", self.hierarchy.prefetcher.stats)
+        for cache in self.hierarchy.caches():
+            registry.register(cache.name.lower(), cache.stats)
+        for index, tlb in enumerate(self.tlbs):
+            registry.register(f"tlb{index}", tlb.stats)
+        return registry.snapshot()
+
+    def overlay_line_count(self, asid: int, vpn: int) -> int:
+        entry = self.controller.omt.lookup(overlay_page_number(asid, vpn))
+        return entry.obitvector.count() if entry is not None else 0

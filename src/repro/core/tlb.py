@@ -1,0 +1,204 @@
+"""Two-level TLB extended with the overlay bit vector (Ì in Figure 6).
+
+Each TLB entry is widened by the 64-bit ``OBitVector`` of its virtual page
+(Section 3.1, Challenge 1) so the processor can decide on the L1-cache
+path whether an access goes to the overlay or to the regular physical
+page.  Table 2 gives the structure modelled here: a 64-entry 4-way L1 TLB
+(1 cycle), a 1024-entry L2 TLB (10 cycles), and a 1000-cycle miss
+(page-table plus OMT fill) penalty.
+
+Entries hold private *copies* of the OBitVector.  Keeping those copies
+coherent on a line remap without a full shootdown is exactly the problem
+Section 4.3.3 solves with the *overlaying read exclusive* coherence
+message; :meth:`TLB.snoop_overlaying_write` is the receiving end of that
+message, and :meth:`TLB.shootdown` is the expensive page-granularity
+baseline it replaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .obitvector import OBitVector
+from .page_table import PTE
+
+
+@dataclass
+class TLBEntry:
+    """A cached translation plus its overlay state."""
+
+    asid: int
+    vpn: int
+    pte: PTE
+    obitvector: OBitVector = field(default_factory=OBitVector)
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.asid, self.vpn)
+
+
+@dataclass
+class TLBStats:
+    l1_hits: int = 0
+    l2_hits: int = 0
+    misses: int = 0
+    shootdowns: int = 0
+    snoop_updates: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.l1_hits + self.l2_hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class _SetAssociativeArray:
+    """A set-associative array of TLB entries with per-set LRU."""
+
+    def __init__(self, entries: int, ways: int):
+        if entries % ways:
+            raise ValueError("entry count must be a multiple of associativity")
+        self._sets = entries // ways
+        self._ways = ways
+        # Each set is an LRU-ordered list, most recent last.
+        self._array: List[List[TLBEntry]] = [[] for _ in range(self._sets)]
+        self._index: Dict[Tuple[int, int], int] = {}
+
+    def _set_for(self, key: Tuple[int, int]) -> int:
+        asid, vpn = key
+        return (vpn ^ asid) % self._sets
+
+    def lookup(self, key: Tuple[int, int]) -> Optional[TLBEntry]:
+        bucket = self._array[self._set_for(key)]
+        for i, entry in enumerate(bucket):
+            if entry.key == key:
+                bucket.append(bucket.pop(i))
+                return entry
+        return None
+
+    def insert(self, entry: TLBEntry) -> Optional[TLBEntry]:
+        """Insert *entry*; return the victim evicted, if any."""
+        bucket = self._array[self._set_for(entry.key)]
+        victim = None
+        for i, existing in enumerate(bucket):
+            if existing.key == entry.key:
+                bucket.pop(i)
+                break
+        else:
+            if len(bucket) >= self._ways:
+                victim = bucket.pop(0)
+        bucket.append(entry)
+        return victim
+
+    def invalidate(self, key: Tuple[int, int]) -> bool:
+        bucket = self._array[self._set_for(key)]
+        for i, entry in enumerate(bucket):
+            if entry.key == key:
+                bucket.pop(i)
+                return True
+        return False
+
+    def entries(self) -> List[TLBEntry]:
+        return [entry for bucket in self._array for entry in bucket]
+
+    def flush(self) -> None:
+        for bucket in self._array:
+            bucket.clear()
+
+
+class TLB:
+    """A per-core, two-level TLB with overlay-aware entries."""
+
+    def __init__(self, l1_entries: int = 64, l1_ways: int = 4,
+                 l2_entries: int = 1024, l2_ways: int = 8,
+                 l1_latency: int = 1, l2_latency: int = 10,
+                 miss_latency: int = 1000):
+        self._l1 = _SetAssociativeArray(l1_entries, l1_ways)
+        self._l2 = _SetAssociativeArray(l2_entries, l2_ways)
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self.miss_latency = miss_latency
+        self.stats = TLBStats()
+
+    def lookup(self, asid: int, vpn: int) -> Tuple[Optional[TLBEntry], int]:
+        """Probe both levels; return ``(entry, latency_cycles)``.
+
+        A miss returns ``(None, miss_latency)`` — the caller performs the
+        page-table and OMT walk and then calls :meth:`fill`.
+        """
+        key = (asid, vpn)
+        entry = self._l1.lookup(key)
+        if entry is not None:
+            self.stats.l1_hits += 1
+            return entry, self.l1_latency
+        entry = self._l2.lookup(key)
+        if entry is not None:
+            self.stats.l2_hits += 1
+            self._l1.insert(entry)  # promote; L2 keeps it (inclusive)
+            return entry, self.l1_latency + self.l2_latency
+        self.stats.misses += 1
+        return None, self.miss_latency
+
+    def fill(self, asid: int, vpn: int, pte: PTE,
+             obitvector: Optional[OBitVector] = None) -> TLBEntry:
+        """Install a translation after a miss; OBitVector is copied in.
+
+        The OBitVector fetch is what makes overlay TLB fills slightly more
+        expensive (Section 4.3: "this potentially increases the cost of
+        each TLB miss"); the extra latency is charged by the MMU, not here.
+        """
+        entry = TLBEntry(asid=asid, vpn=vpn, pte=pte,
+                         obitvector=(obitvector or OBitVector()).copy())
+        self._l2.insert(entry)
+        self._l1.insert(entry)
+        return entry
+
+    # -- coherence (Section 4.3.3) -----------------------------------------
+
+    def snoop_overlaying_write(self, asid: int, vpn: int, line: int) -> bool:
+        """Handle an *overlaying read exclusive* snoop for one cache line.
+
+        If this TLB caches the mapping, only the corresponding OBitVector
+        bit is set — no invalidation, no shootdown.  Returns True when the
+        entry was present and updated.
+        """
+        updated = False
+        for array in (self._l1, self._l2):
+            entry = array.lookup((asid, vpn))
+            if entry is not None:
+                entry.obitvector.set(line)
+                updated = True
+        if updated:
+            self.stats.snoop_updates += 1
+        return updated
+
+    def snoop_commit(self, asid: int, vpn: int) -> bool:
+        """Clear the OBitVector when an overlay is promoted (Section 4.3.4)."""
+        updated = False
+        for array in (self._l1, self._l2):
+            entry = array.lookup((asid, vpn))
+            if entry is not None:
+                entry.obitvector.clear_all()
+                updated = True
+        return updated
+
+    def shootdown(self, asid: int, vpn: int) -> bool:
+        """Invalidate a whole page mapping — the classic TLB shootdown the
+        baseline copy-on-write remap requires (Section 2.2, Ë in Fig. 3a)."""
+        hit1 = self._l1.invalidate((asid, vpn))
+        hit2 = self._l2.invalidate((asid, vpn))
+        if hit1 or hit2:
+            self.stats.shootdowns += 1
+        return hit1 or hit2
+
+    def flush(self) -> None:
+        self._l1.flush()
+        self._l2.flush()
+
+    def cached_entry(self, asid: int, vpn: int) -> Optional[TLBEntry]:
+        """Peek (no stats, no LRU effect beyond lookup) for tests/snoops."""
+        return self._l1.lookup((asid, vpn)) or self._l2.lookup((asid, vpn))

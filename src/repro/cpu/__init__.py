@@ -1,0 +1,8 @@
+"""Trace-driven CPU timing model (Table 2's core, first-order)."""
+
+from .core import Core, CoreStats
+from .multicore import MultiCoreScheduler
+from .trace import MemoryAccess, Trace
+
+__all__ = ["Core", "CoreStats", "MemoryAccess", "MultiCoreScheduler",
+           "Trace"]

@@ -1,0 +1,26 @@
+"""Experiment harnesses regenerating every table and figure of the
+paper's evaluation (Section 5), plus the design ablations of DESIGN.md."""
+
+from .config import DEFAULT_CONFIG, SystemConfig
+from .fork_experiment import (BenchmarkComparison, PolicyRun, format_figure8,
+                              format_figure9, run_benchmark, run_policy,
+                              run_suite, summarize)
+from .granularity_experiment import (BLOCK_SIZES, Figure11Point,
+                                     format_figure11, mean_overhead,
+                                     run_figure11)
+from .hardware_cost import (HardwareCost, compute_hardware_cost,
+                            format_hardware_cost)
+from .remap_latency import (RemapLatency, format_remap_latency,
+                            measure_remap_latency)
+from .sparsity_sweep import SparsityPoint, format_sweep, run_sparsity_sweep
+from .spmv_experiment import (Figure10Point, crossover_locality,
+                              format_figure10, run_figure10)
+
+__all__ = ["BLOCK_SIZES", "BenchmarkComparison", "DEFAULT_CONFIG",
+           "Figure10Point", "Figure11Point", "HardwareCost", "PolicyRun",
+           "RemapLatency", "SparsityPoint", "SystemConfig",
+           "compute_hardware_cost", "crossover_locality", "format_figure10",
+           "format_figure11", "format_figure8", "format_figure9",
+           "format_hardware_cost", "format_remap_latency", "format_sweep",
+           "mean_overhead", "run_benchmark", "run_figure10", "run_figure11",
+           "run_policy", "run_sparsity_sweep", "run_suite", "summarize"]

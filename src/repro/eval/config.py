@@ -1,0 +1,10 @@
+"""Table 2 configuration — re-exported from :mod:`repro.config`.
+
+The dataclass lives at the package root so the core machinery can build
+itself from it without the core -> eval layering inversion; experiment
+code historically imports it from here.
+"""
+
+from ..config import DEFAULT_CONFIG, SystemConfig
+
+__all__ = ["DEFAULT_CONFIG", "SystemConfig"]

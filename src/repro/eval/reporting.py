@@ -1,0 +1,98 @@
+"""Plain-text reporting helpers: ASCII bar charts and series plots for
+the figure harnesses (everything prints to a terminal; no plotting
+dependencies)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+BAR_WIDTH = 40
+
+
+def bar_chart(rows: Sequence[Tuple[str, float]], title: str = "",
+              unit: str = "", width: int = BAR_WIDTH) -> str:
+    """Horizontal bar chart: one (label, value) per row."""
+    if not rows:
+        return title
+    peak = max(value for _, value in rows) or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = [title] if title else []
+    for label, value in rows:
+        bar = "#" * max(1 if value > 0 else 0,
+                        round(width * value / peak))
+        lines.append(f"{label:<{label_width}} |{bar:<{width}} "
+                     f"{value:,.2f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(rows: Sequence[Tuple[str, float, float]],
+                      series: Tuple[str, str], title: str = "",
+                      unit: str = "", width: int = BAR_WIDTH) -> str:
+    """Two-series bar chart: (label, value_a, value_b) per row."""
+    if not rows:
+        return title
+    peak = max(max(a, b) for _, a, b in rows) or 1.0
+    label_width = max(len(label) for label, _, _ in rows)
+    lines = [title] if title else []
+    lines.append(f"{'':<{label_width}}  # = {series[0]}, = = {series[1]}")
+    for label, a, b in rows:
+        bar_a = "#" * max(1 if a > 0 else 0, round(width * a / peak))
+        bar_b = "=" * max(1 if b > 0 else 0, round(width * b / peak))
+        lines.append(f"{label:<{label_width}} |{bar_a:<{width}} {a:,.2f}{unit}")
+        lines.append(f"{'':<{label_width}} |{bar_b:<{width}} {b:,.2f}{unit}")
+    return "\n".join(lines)
+
+
+def series_plot(points: Sequence[Tuple[float, float]], title: str = "",
+                x_label: str = "x", y_label: str = "y",
+                height: int = 12, width: int = 60,
+                y_reference: Optional[float] = None) -> str:
+    """A scatter/line plot in ASCII, with an optional horizontal
+    reference line (e.g. the y=1.0 crossover of Figure 10)."""
+    if not points:
+        return title
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    y_min = min(ys + ([y_reference] if y_reference is not None else []))
+    y_max = max(ys + ([y_reference] if y_reference is not None else []))
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    def to_col(x):
+        return round((x - x_min) / (x_max - x_min) * (width - 1))
+    def to_row(y):
+        return (height - 1) - round((y - y_min) / (y_max - y_min)
+                                    * (height - 1))
+    if y_reference is not None:
+        ref_row = to_row(y_reference)
+        for col in range(width):
+            grid[ref_row][col] = "-"
+    for x, y in points:
+        grid[to_row(y)][to_col(x)] = "*"
+
+    lines = [title] if title else []
+    for i, row in enumerate(grid):
+        y_val = y_max - i * (y_max - y_min) / (height - 1)
+        lines.append(f"{y_val:8.2f} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9}{x_min:<8.2f}{x_label:^{width - 16}}{x_max:>8.2f}")
+    lines.append(f"y: {y_label}")
+    return "\n".join(lines)
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+          title: str = "") -> str:
+    """A simple aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(row[i]) for row in cells)) if cells
+              else len(h) for i, h in enumerate(headers)]
+    lines = [title] if title else []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""DDR3-1066 DRAM timing model with FR-FCFS-style write drains — Table 2.
+
+Configuration reproduced from the paper: DDR3-1066 [28], one channel, one
+rank, eight banks, 8B data bus, burst length 8 (one 64B line per burst),
+8KB row buffer per bank, open-row policy, and a 64-entry write buffer
+drained when full (FR-FCFS [34] batching of writes).
+
+Timing is expressed in CPU cycles at 2.67 GHz.  DDR3-1066 runs its
+command clock at 533 MHz (tCK = 1.875 ns ≈ 5 CPU cycles); with 7-7-7
+timings, tCAS = tRCD = tRP = 7 tCK ≈ 35 CPU cycles, and a BL8 burst on
+the 8B bus takes 4 tCK ≈ 20 CPU cycles.
+
+The model is first-order: per-bank open-row state plus a per-bank
+``ready_at`` cycle capturing queueing, which is what the paper's
+copy-bandwidth argument (copies consume bandwidth other accesses need)
+requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .stats import DRAMStats
+
+#: CPU cycles per DRAM command-clock cycle (2.67 GHz / 533 MHz).
+CPU_CYCLES_PER_TCK = 5
+
+#: Column-access strobe latency (7 tCK).
+T_CAS = 7 * CPU_CYCLES_PER_TCK
+#: Row-to-column delay (7 tCK).
+T_RCD = 7 * CPU_CYCLES_PER_TCK
+#: Row precharge (7 tCK).
+T_RP = 7 * CPU_CYCLES_PER_TCK
+#: BL8 burst on the 8B-wide bus: 4 tCK for 64 bytes.
+T_BURST = 4 * CPU_CYCLES_PER_TCK
+#: Fixed controller pipeline overhead per request.
+T_CONTROLLER = 10
+
+ROW_BUFFER_BYTES = 8192
+NUM_BANKS = 8
+
+
+@dataclass
+class _Bank:
+    open_row: int = -1
+    ready_at: int = 0
+
+
+@dataclass
+class DRAM:
+    """One channel of DDR3-1066 with open-row policy and a write buffer."""
+
+    write_buffer_capacity: int = 64
+    stats: DRAMStats = field(default_factory=DRAMStats)
+    _banks: List[_Bank] = field(default_factory=lambda: [_Bank() for _ in range(NUM_BANKS)])
+    _write_buffer: Dict[int, int] = field(default_factory=dict)  # line addr -> bank
+
+    # -- address mapping ----------------------------------------------------
+
+    @staticmethod
+    def _map(address: int) -> Tuple[int, int]:
+        """Return (bank, row) for a byte address (row-interleaved banks)."""
+        row_index = address // ROW_BUFFER_BYTES
+        return row_index % NUM_BANKS, row_index // NUM_BANKS
+
+    # -- timing core ---------------------------------------------------------
+
+    def _service(self, bank: _Bank, row: int, now: int) -> int:
+        """Advance *bank* to service one access to *row* starting at *now*;
+        return the completion cycle.
+
+        Row hits pipeline: the column-access latency (tCAS) of back-to-back
+        hits overlaps, so the bank is occupied for only the burst time
+        while the request's own latency still includes tCAS.  Row misses
+        occupy the bank for the full activate/precharge sequence.
+        """
+        start = max(now, bank.ready_at)
+        if bank.open_row == row:
+            self.stats.row_hits += 1
+            occupancy = T_BURST
+        elif bank.open_row == -1:
+            self.stats.row_misses += 1
+            occupancy = T_RCD + T_BURST
+        else:
+            self.stats.row_misses += 1
+            occupancy = T_RP + T_RCD + T_BURST
+        bank.open_row = row
+        bank.ready_at = start + occupancy
+        self.stats.busy_cycles += occupancy
+        return start + occupancy + T_CAS
+
+    # -- public interface ------------------------------------------------------
+
+    def read(self, address: int, now: int = 0) -> int:
+        """Read the 64B line at *address*; return latency in CPU cycles.
+
+        A read that hits the write buffer is forwarded at controller
+        latency — the FR-FCFS controller prioritises row-hit reads and
+        services them around buffered writes.
+        """
+        self.stats.reads += 1
+        line = address & ~63
+        if line in self._write_buffer:
+            return T_CONTROLLER
+        bank_index, row = self._map(address)
+        done = self._service(self._banks[bank_index], row, now)
+        return done - now + T_CONTROLLER
+
+    def write(self, address: int, now: int = 0) -> int:
+        """Buffer a 64B line write; returns the (small) enqueue latency.
+
+        Writes are not on the critical path: they sit in the write buffer
+        until it fills, then the controller drains it in one batch
+        (drain-when-full, Table 2), occupying banks and thereby delaying
+        subsequent reads — which is how write bandwidth pressure becomes
+        visible to the workload.
+        """
+        self.stats.writes += 1
+        line = address & ~63
+        bank_index, _ = self._map(address)
+        self._write_buffer[line] = bank_index
+        self.stats.write_buffer_peak = max(self.stats.write_buffer_peak,
+                                           len(self._write_buffer))
+        if len(self._write_buffer) >= self.write_buffer_capacity:
+            self.drain_writes(now)
+        return T_CONTROLLER
+
+    def drain_writes(self, now: int = 0) -> int:
+        """Drain the whole write buffer; returns cycles of bank occupancy.
+
+        FR-FCFS batching: drains are sorted by (bank, row) so row hits are
+        maximised, as a real FR-FCFS scheduler would.
+        """
+        if not self._write_buffer:
+            return 0
+        self.stats.write_drains += 1
+        occupancy = 0
+        pending = sorted(self._write_buffer, key=lambda a: (self._map(a)))
+        for line in pending:
+            bank_index, row = self._map(line)
+            before = self._banks[bank_index].ready_at
+            done = self._service(self._banks[bank_index], row, now)
+            occupancy += done - max(now, before)
+        self._write_buffer.clear()
+        return occupancy
+
+    @property
+    def pending_writes(self) -> int:
+        return len(self._write_buffer)
+
+    def bank_ready_at(self, address: int) -> int:
+        bank_index, _ = self._map(address)
+        return self._banks[bank_index].ready_at

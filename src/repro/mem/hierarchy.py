@@ -1,0 +1,231 @@
+"""The three-level cache hierarchy of Table 2, glued to DRAM.
+
+* L1: 64KB, 4-way, tag/data 1/2 cycles, parallel lookup, LRU.
+* L2: 512KB, 8-way, tag/data 2/8 cycles, parallel lookup, LRU.
+* L3: 2MB, 16-way, tag/data 10/24 cycles, serial lookup, DRRIP.
+* Stream prefetcher monitoring L2 misses, prefetching into L3.
+* Inclusion is not enforced at any level (Section 5).
+
+The hierarchy works on line *tags*.  Regular physical tags resolve to a
+DRAM byte address as ``tag * 64``; overlay tags carry the overlay marker
+bit and are resolved by the memory controller through the OMT — the
+overlay framework installs the resolver and writeback handler hooks for
+that (Section 4.3.1: the Overlay Memory Store is accessed only when an
+access misses the entire hierarchy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from .cache import EvictedLine, SetAssociativeCache
+from .dram import DRAM
+from .prefetcher import StreamPrefetcher
+
+#: Hook resolving a line tag to ``(dram_byte_address, extra_latency)``.
+MissResolver = Callable[[int], Tuple[Optional[int], int]]
+#: Hook returning the backing bytes for a line tag on a full miss.
+DataFetcher = Callable[[int], Optional[bytes]]
+#: Hook consuming a dirty line evicted from the L3;
+#: returns extra latency charged to background writeback traffic.
+WritebackHandler = Callable[[int, Optional[bytes]], int]
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one hierarchy access."""
+
+    latency: int
+    level: str  # "L1", "L2", "L3", or "MEM"
+
+    @property
+    def hit_in_cache(self) -> bool:
+        return self.level != "MEM"
+
+
+class MemoryHierarchy:
+    """L1/L2/L3 + prefetcher + DRAM, with overlay-aware miss hooks."""
+
+    def __init__(self, dram: Optional[DRAM] = None,
+                 resolve_miss: Optional[MissResolver] = None,
+                 handle_writeback: Optional[WritebackHandler] = None,
+                 fetch_data: Optional[DataFetcher] = None,
+                 l1_kwargs: Optional[dict] = None,
+                 l2_kwargs: Optional[dict] = None,
+                 l3_kwargs: Optional[dict] = None,
+                 prefetcher: Optional[StreamPrefetcher] = None):
+        l1_params = dict(size_bytes=64 * 1024, ways=4, tag_latency=1,
+                         data_latency=2, serial_tag_data=False, policy="lru")
+        l1_params.update(l1_kwargs or {})
+        l2_params = dict(size_bytes=512 * 1024, ways=8, tag_latency=2,
+                         data_latency=8, serial_tag_data=False, policy="lru")
+        l2_params.update(l2_kwargs or {})
+        l3_params = dict(size_bytes=2 * 1024 * 1024, ways=16, tag_latency=10,
+                         data_latency=24, serial_tag_data=True,
+                         policy="drrip")
+        l3_params.update(l3_kwargs or {})
+        self.l1 = SetAssociativeCache("L1", **l1_params)
+        self.l2 = SetAssociativeCache("L2", **l2_params)
+        self.l3 = SetAssociativeCache("L3", **l3_params)
+        self.dram = dram or DRAM()
+        self.prefetcher = prefetcher or StreamPrefetcher()
+        self._resolve_miss = resolve_miss or self._default_resolve
+        self._handle_writeback = handle_writeback or self._default_writeback
+        self._fetch_data = fetch_data or (lambda tag: None)
+        self._now = 0
+
+    # -- default hooks: plain physical address space ---------------------------
+
+    @staticmethod
+    def _default_resolve(tag: int) -> Tuple[Optional[int], int]:
+        return tag * 64, 0
+
+    def _default_writeback(self, tag: int, data: Optional[bytes]) -> int:
+        address, extra = self._resolve_miss(tag)
+        if address is None:
+            return extra
+        return extra + self.dram.write(address, self._now)
+
+    # -- eviction plumbing ---------------------------------------------------------
+
+    def _spill(self, level: SetAssociativeCache,
+               evicted: Optional[EvictedLine]) -> None:
+        """Push a dirty eviction one level down (non-inclusive hierarchy)."""
+        if evicted is None or not evicted.dirty:
+            return
+        if level is self.l1:
+            victim = self.l2.fill(evicted.tag, data=evicted.data, dirty=True)
+            self._spill(self.l2, victim)
+        elif level is self.l2:
+            victim = self.l3.fill(evicted.tag, data=evicted.data, dirty=True)
+            self._spill(self.l3, victim)
+        else:
+            self._handle_writeback(evicted.tag, evicted.data)
+
+    def _fill_upward(self, tag: int, data: Optional[bytes],
+                     dirty: bool = False) -> None:
+        """Install a fetched line into L3, L2 and L1, spilling victims."""
+        self._spill(self.l3, self.l3.fill(tag, data=data, dirty=False))
+        self._spill(self.l2, self.l2.fill(tag, data=data, dirty=False))
+        self._spill(self.l1, self.l1.fill(tag, data=data, dirty=dirty))
+
+    # -- the demand path --------------------------------------------------------
+
+    def access(self, tag: int, write: bool = False,
+               data: Optional[bytes] = None, now: Optional[int] = None) -> AccessResult:
+        """Perform one demand access for line *tag*.
+
+        Writes are write-back/write-allocate: a write miss fetches the
+        line and dirties it in the L1.
+        """
+        if now is not None:
+            self._now = now
+        latency = 0
+
+        hit, cycles = self.l1.access(tag, write=write, data=data)
+        latency += cycles
+        if hit:
+            return AccessResult(latency=latency, level="L1")
+
+        hit, cycles = self.l2.access(tag, write=False)
+        latency += cycles
+        if hit:
+            line = self.l2.lookup(tag)
+            self._spill(self.l1, self.l1.fill(
+                tag, data=line.data, dirty=write or line.dirty))
+            if data is not None and write:
+                self.l1.access(tag, write=True, data=data)
+            return AccessResult(latency=latency, level="L2")
+
+        # L2 miss: train the prefetcher (it prefetches into the L3).
+        for pf_tag in self.prefetcher.on_miss(tag):
+            self._prefetch(pf_tag)
+
+        hit, cycles = self.l3.access(tag, write=False)
+        latency += cycles
+        if hit:
+            line = self.l3.lookup(tag)
+            self._spill(self.l2, self.l2.fill(tag, data=line.data, dirty=False))
+            self._spill(self.l1, self.l1.fill(
+                tag, data=line.data, dirty=write or line.dirty))
+            if data is not None and write:
+                self.l1.access(tag, write=True, data=data)
+            return AccessResult(latency=latency, level="L3")
+
+        # Full-hierarchy miss: resolve (possibly via the OMT) and go to DRAM.
+        address, extra = self._resolve_miss(tag)
+        latency += extra
+        if address is not None:
+            latency += self.dram.read(address, self._now + latency)
+        fill_data = self._fetch_data(tag)
+        self._fill_upward(tag, data=fill_data, dirty=write)
+        if data is not None and write:
+            self.l1.access(tag, write=True, data=data)
+        return AccessResult(latency=latency, level="MEM")
+
+    def _prefetch(self, tag: int) -> None:
+        """Fetch *tag* into the L3 off the demand path."""
+        if tag < 0:
+            return
+        if self.l3.lookup(tag) is not None:
+            return
+        address, _extra = self._resolve_miss(tag)
+        if address is not None:
+            self.dram.read(address, self._now)
+        self._spill(self.l3, self.l3.fill(tag, data=self._fetch_data(tag),
+                                          prefetch=True))
+
+    # -- maintenance operations ----------------------------------------------------
+
+    def retag(self, old_tag: int, new_tag: int) -> bool:
+        """Rewrite a resident line's tag in whichever levels hold it."""
+        changed = False
+        for level in (self.l1, self.l2, self.l3):
+            changed = level.retag(old_tag, new_tag) or changed
+        return changed
+
+    def invalidate(self, tag: int, writeback: bool = True) -> None:
+        """Drop *tag* everywhere, spilling dirty data to memory if asked."""
+        for level in (self.l1, self.l2, self.l3):
+            evicted = level.invalidate(tag)
+            if evicted is not None and evicted.dirty and writeback:
+                self._handle_writeback(evicted.tag, evicted.data)
+
+    def flush_dirty(self) -> int:
+        """Write back every dirty line (checkpoint barrier); returns count."""
+        flushed = 0
+        for level in (self.l1, self.l2, self.l3):
+            for line in level.dirty_lines():
+                self._handle_writeback(line.tag, line.data)
+                line.dirty = False
+                flushed += 1
+        return flushed
+
+    def lookup_data(self, tag: int) -> Optional[bytes]:
+        """Return the freshest cached payload for *tag*, if any."""
+        for level in (self.l1, self.l2, self.l3):
+            line = level.lookup(tag)
+            if line is not None and line.data is not None:
+                return line.data
+        return None
+
+    def dirty_data(self, tag: int) -> Optional[bytes]:
+        """Return the payload of the freshest *dirty* copy of *tag*, or
+        None when no cached copy is dirty."""
+        for level in (self.l1, self.l2, self.l3):
+            line = level.lookup(tag)
+            if line is not None and line.dirty:
+                return line.data
+        return None
+
+    def clean(self, tag: int) -> None:
+        """Clear the dirty bit on every cached copy of *tag* (after the
+        caller has written the data back itself)."""
+        for level in (self.l1, self.l2, self.l3):
+            line = level.lookup(tag)
+            if line is not None:
+                line.dirty = False
+
+    def caches(self) -> List[SetAssociativeCache]:
+        return [self.l1, self.l2, self.l3]

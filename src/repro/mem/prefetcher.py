@@ -1,0 +1,103 @@
+"""Stream prefetcher — Table 2.
+
+The paper's configuration: a multi-stream prefetcher in the style of the
+IBM POWER6 [33] / feedback-directed [48] designs, monitoring L2 misses and
+prefetching into the L3, with 16 stream entries, degree 4 and distance 24.
+
+The model: each stream tracks a region and direction.  A miss either
+trains an existing stream (advancing it and issuing up to ``degree``
+prefetches that stay within ``distance`` lines of the demand miss) or
+allocates a new stream entry (LRU replacement among the 16 entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class _Stream:
+    """One tracked stream: last demand line, direction, next prefetch."""
+
+    last_line: int
+    direction: int = 0           # +1, -1, or 0 while still training
+    next_prefetch: int = 0
+    confidence: int = 0
+    lru: int = 0
+
+
+@dataclass
+class PrefetcherStats:
+    trainings: int = 0
+    allocations: int = 0
+    issued: int = 0
+
+
+class StreamPrefetcher:
+    """A 16-entry stream prefetcher issuing into the level below L2."""
+
+    def __init__(self, entries: int = 16, degree: int = 4, distance: int = 24,
+                 train_window: int = 4):
+        self.entries = entries
+        self.degree = degree
+        self.distance = distance
+        self.train_window = train_window
+        self._streams: List[_Stream] = []
+        self._clock = 0
+        self.stats = PrefetcherStats()
+
+    def _find_stream(self, line: int) -> _Stream:
+        for stream in self._streams:
+            if abs(line - stream.last_line) <= self.train_window or (
+                    stream.direction and
+                    0 <= (line - stream.last_line) * stream.direction <= self.distance):
+                return stream
+        return None
+
+    def on_miss(self, line: int) -> List[int]:
+        """Train on an L2 demand miss at *line*; return lines to prefetch."""
+        self._clock += 1
+        stream = self._find_stream(line)
+        if stream is None:
+            if len(self._streams) >= self.entries:
+                victim = min(self._streams, key=lambda s: s.lru)
+                self._streams.remove(victim)
+            stream = _Stream(last_line=line, lru=self._clock)
+            self._streams.append(stream)
+            self.stats.allocations += 1
+            return []
+
+        self.stats.trainings += 1
+        stream.lru = self._clock
+        delta = line - stream.last_line
+        if delta == 0:
+            return []
+        direction = 1 if delta > 0 else -1
+        if stream.direction == direction:
+            stream.confidence = min(stream.confidence + 1, 4)
+        else:
+            stream.direction = direction
+            stream.confidence = 1
+            stream.next_prefetch = line + direction
+        stream.last_line = line
+
+        if stream.confidence < 2:
+            return []
+        # Issue up to `degree` prefetches, never farther than `distance`
+        # lines ahead of the demand miss.
+        prefetches = []
+        limit = line + direction * self.distance
+        candidate = max(stream.next_prefetch * direction, (line + direction) * direction) * direction
+        for _ in range(self.degree):
+            if (limit - candidate) * direction < 0:
+                break
+            prefetches.append(candidate)
+            candidate += direction
+        if prefetches:
+            stream.next_prefetch = prefetches[-1] + direction
+            self.stats.issued += len(prefetches)
+        return prefetches
+
+    def active_streams(self) -> int:
+        return len(self._streams)

@@ -1,0 +1,137 @@
+"""Cache replacement policies: LRU and DRRIP.
+
+Table 2 of the paper uses LRU for the L1 and L2 caches and DRRIP [27]
+(Dynamic Re-Reference Interval Prediction) for the last-level cache.
+Policies are per-cache objects driving per-set victim selection; the
+cache calls them on every hit, fill, and eviction decision.
+
+DRRIP follows Jaleel et al. [27]: 2-bit re-reference prediction values
+(RRPV), SRRIP inserts at RRPV=2, BRRIP inserts at RRPV=3 except 1/32 of
+the time, and set-dueling with a 10-bit saturating policy-selection
+counter picks between them for follower sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class ReplacementPolicy:
+    """Interface: one instance manages every set of one cache."""
+
+    def __init__(self, num_sets: int, ways: int):
+        self.num_sets = num_sets
+        self.ways = ways
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        raise NotImplementedError
+
+    def on_fill(self, set_index: int, way: int, prefetch: bool = False) -> None:
+        raise NotImplementedError
+
+    def victim(self, set_index: int, occupied: List[bool]) -> int:
+        """Pick the way to evict (all ways occupied) or fill (some free)."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Classic least-recently-used, tracked with per-set timestamps."""
+
+    def __init__(self, num_sets: int, ways: int):
+        super().__init__(num_sets, ways)
+        self._clock = 0
+        self._last_use: List[List[int]] = [[0] * ways for _ in range(num_sets)]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._last_use[set_index][way] = self._clock
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def on_fill(self, set_index: int, way: int, prefetch: bool = False) -> None:
+        self._touch(set_index, way)
+
+    def victim(self, set_index: int, occupied: List[bool]) -> int:
+        for way, used in enumerate(occupied):
+            if not used:
+                return way
+        stamps = self._last_use[set_index]
+        return min(range(self.ways), key=stamps.__getitem__)
+
+
+class DRRIPPolicy(ReplacementPolicy):
+    """Dynamic RRIP with set-dueling between SRRIP and BRRIP [27]."""
+
+    MAX_RRPV = 3          # 2-bit RRPV
+    LONG_RRPV = 2         # SRRIP insertion point
+    DISTANT_RRPV = 3      # BRRIP insertion point (most of the time)
+    BRRIP_LONG_EVERY = 32 # BRRIP inserts at LONG_RRPV 1/32 of the time
+    PSEL_BITS = 10
+    DUELING_SETS = 32     # leader sets per policy
+
+    def __init__(self, num_sets: int, ways: int):
+        super().__init__(num_sets, ways)
+        self._rrpv: List[List[int]] = [
+            [self.MAX_RRPV] * ways for _ in range(num_sets)]
+        self._psel = (1 << self.PSEL_BITS) // 2
+        self._psel_max = (1 << self.PSEL_BITS) - 1
+        self._brrip_throttle = 0
+        self._leader: Dict[int, str] = {}
+        stride = max(1, num_sets // (2 * self.DUELING_SETS))
+        for i in range(self.DUELING_SETS):
+            srrip_set = (2 * i * stride) % num_sets
+            brrip_set = ((2 * i + 1) * stride) % num_sets
+            self._leader.setdefault(srrip_set, "srrip")
+            self._leader.setdefault(brrip_set, "brrip")
+
+    def _policy_for(self, set_index: int) -> str:
+        leader = self._leader.get(set_index)
+        if leader is not None:
+            return leader
+        return "srrip" if self._psel < (self._psel_max + 1) // 2 else "brrip"
+
+    def _account_miss(self, set_index: int) -> None:
+        # A miss in a leader set votes against that leader's policy.
+        leader = self._leader.get(set_index)
+        if leader == "srrip":
+            self._psel = min(self._psel_max, self._psel + 1)
+        elif leader == "brrip":
+            self._psel = max(0, self._psel - 1)
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        # Hit promotion: RRPV -> 0 (near-immediate re-reference).
+        self._rrpv[set_index][way] = 0
+
+    def on_fill(self, set_index: int, way: int, prefetch: bool = False) -> None:
+        self._account_miss(set_index)
+        policy = self._policy_for(set_index)
+        if policy == "srrip":
+            rrpv = self.LONG_RRPV
+        else:
+            self._brrip_throttle = (self._brrip_throttle + 1) % self.BRRIP_LONG_EVERY
+            rrpv = self.LONG_RRPV if self._brrip_throttle == 0 else self.DISTANT_RRPV
+        if prefetch:
+            rrpv = self.DISTANT_RRPV  # prefetches inserted with distant prediction
+        self._rrpv[set_index][way] = rrpv
+
+    def victim(self, set_index: int, occupied: List[bool]) -> int:
+        for way, used in enumerate(occupied):
+            if not used:
+                return way
+        rrpvs = self._rrpv[set_index]
+        while True:
+            for way in range(self.ways):
+                if rrpvs[way] >= self.MAX_RRPV:
+                    return way
+            for way in range(self.ways):
+                rrpvs[way] += 1
+
+
+def make_policy(name: str, num_sets: int, ways: int) -> ReplacementPolicy:
+    """Factory used by cache construction; ``name`` is 'lru' or 'drrip'."""
+    policies = {"lru": LRUPolicy, "drrip": DRRIPPolicy}
+    try:
+        return policies[name.lower()](num_sets, ways)
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}") from None

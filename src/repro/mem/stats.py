@@ -1,0 +1,77 @@
+"""Shared statistics containers for the memory hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/writeback counters for one cache level."""
+
+    name: str = ""
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    prefetch_fills: int = 0
+    prefetch_hits: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+@dataclass
+class DRAMStats:
+    """Counters for the DRAM model."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    write_drains: int = 0
+    write_buffer_peak: int = 0
+    busy_cycles: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+@dataclass
+class StatRegistry:
+    """A bag of named statistics blocks, for whole-system reporting."""
+
+    blocks: Dict[str, object] = field(default_factory=dict)
+
+    def register(self, name: str, block: object) -> None:
+        self.blocks[name] = block
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for name, block in self.blocks.items():
+            fields = {}
+            for key, value in vars(block).items():
+                if isinstance(value, (int, float)):
+                    fields[key] = value
+            out[name] = fields
+        return out

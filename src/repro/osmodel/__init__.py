@@ -1,0 +1,9 @@
+"""OS model: processes, fork, frame allocation, copy-on-write baseline."""
+
+from .cow import CopyOnWritePolicy, CowStats
+from .kernel import Kernel, KernelStats
+from .physalloc import FrameAllocator, OutOfMemory
+from .process import Process
+
+__all__ = ["CopyOnWritePolicy", "CowStats", "FrameAllocator", "Kernel",
+           "KernelStats", "OutOfMemory", "Process"]

@@ -1,0 +1,185 @@
+"""A minimal OS kernel over the overlay hardware: process and memory
+management, ``fork``, and the frame bookkeeping both copy-on-write and
+overlay-on-write experiments rely on.
+
+The kernel owns the physical frame pool (including the pages it
+proactively grants the memory controller for the Overlay Memory Store —
+Section 4.4.3) so "memory consumed" is a single number regardless of
+which copy-on-write policy runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .physalloc import FrameAllocator
+from .process import Process
+from ..core.address import PAGE_SIZE
+from ..core.framework import CowHandler, OverlaySystem
+
+
+@dataclass
+class KernelStats:
+    forks: int = 0
+    pages_shared_on_fork: int = 0
+    cow_breaks: int = 0
+
+
+class Kernel:
+    """Process + memory management over an :class:`OverlaySystem`."""
+
+    def __init__(self, system: Optional[OverlaySystem] = None,
+                 total_frames: int = 1 << 20, num_cores: int = 1,
+                 oms_initial_pages: int = 16,
+                 omt_cache_entries: Optional[int] = None,
+                 oms_page_per_overlay: bool = False, config=None):
+        self.allocator = FrameAllocator(total_frames=total_frames)
+        if system is None:
+            system = OverlaySystem(
+                num_cores=num_cores,
+                oms_request_pages=self._grant_oms_pages,
+                oms_initial_pages=oms_initial_pages,
+                omt_cache_entries=omt_cache_entries,
+                oms_page_per_overlay=oms_page_per_overlay,
+                config=config)
+        self.system = system
+        self.processes: Dict[int, Process] = {}
+        #: ppn -> set of (asid, vpn) currently mapping that frame.
+        self.frame_users: Dict[int, Set[Tuple[int, int]]] = {}
+        self._next_pid = 1
+        self.stats = KernelStats()
+
+    def _grant_oms_pages(self, count: int) -> List[int]:
+        """OS handing 4KB pages to the memory controller for the OMS."""
+        return [self.allocator.allocate() * PAGE_SIZE for _ in range(count)]
+
+    # -- policy installation -------------------------------------------------------
+
+    def install_cow_policy(self, handler: CowHandler) -> None:
+        """Choose what happens on a write to a copy-on-write page."""
+        self.system.cow_handler = handler
+
+    # -- process lifecycle -----------------------------------------------------------
+
+    def create_process(self) -> Process:
+        pid = self._next_pid
+        self._next_pid += 1
+        table = self.system.register_address_space(pid)
+        process = Process(pid=pid, asid=pid, page_table=table)
+        self.processes[pid] = process
+        return process
+
+    def mmap(self, process: Process, start_vpn: int, npages: int,
+             fill: Optional[bytes] = None) -> List[int]:
+        """Map *npages* fresh anonymous pages at *start_vpn*.
+
+        ``fill`` optionally initialises every page's contents (truncated
+        or zero-padded to 4KB).
+        """
+        frames = []
+        for i in range(npages):
+            vpn = start_vpn + i
+            if vpn in process.mappings:
+                raise ValueError(f"VPN {vpn:#x} already mapped in pid {process.pid}")
+            ppn = self.allocator.allocate()
+            self.system.map_page(process.asid, vpn, ppn)
+            process.mappings[vpn] = ppn
+            self.frame_users.setdefault(ppn, set()).add((process.asid, vpn))
+            if fill is not None:
+                page = (fill * (PAGE_SIZE // max(1, len(fill)) + 1))[:PAGE_SIZE]
+                self.system.main_memory.write_page(ppn, page)
+            frames.append(ppn)
+        return frames
+
+    def munmap(self, process: Process, start_vpn: int, npages: int) -> None:
+        for i in range(npages):
+            vpn = start_vpn + i
+            ppn = process.mappings.pop(vpn, None)
+            if ppn is None:
+                continue
+            process.page_table.unmap(vpn)
+            users = self.frame_users.get(ppn)
+            if users is not None:
+                users.discard((process.asid, vpn))
+                if not users:
+                    del self.frame_users[ppn]
+            self.allocator.release(ppn)
+
+    def exit_process(self, process: Process) -> None:
+        self.munmap(process, min(process.mappings, default=0),
+                    0 if not process.mappings else
+                    max(process.mappings) - min(process.mappings) + 1)
+        self.processes.pop(process.pid, None)
+
+    # -- fork (Section 5.1) -------------------------------------------------------------
+
+    def fork(self, parent: Process) -> Process:
+        """Create a child sharing every page copy-on-write.
+
+        Both the parent's and the child's PTEs are marked ``cow`` and
+        write-protected; stale TLB entries for the parent are flushed
+        (``update_mapping`` shoots them down), exactly as a real fork
+        must.  Because no two virtual pages may share an overlay
+        (Section 4.1: "when data of a virtual page is copied to another
+        virtual page, the overlay cache lines of the source page must be
+        copied into the appropriate locations in the destination page"),
+        any overlay lines the parent has accumulated are copied into the
+        child's own overlay.
+        """
+        child = self.create_process()
+        child.parent_pid = parent.pid
+        for vpn, ppn in parent.mappings.items():
+            self.allocator.share(ppn)
+            self.system.map_page(child.asid, vpn, ppn, writable=False, cow=True)
+            child.mappings[vpn] = ppn
+            self.system.update_mapping(parent.asid, vpn,
+                                       writable=False, cow=True)
+            self.frame_users.setdefault(ppn, set()).add((child.asid, vpn))
+            self.stats.pages_shared_on_fork += 1
+            self._copy_overlay_lines(parent.asid, child.asid, vpn)
+        self.stats.forks += 1
+        return child
+
+    def _copy_overlay_lines(self, src_asid: int, dst_asid: int,
+                            vpn: int) -> None:
+        """Copy the source page's overlay lines into the destination's
+        overlay (overlays are never shared — Section 4.1)."""
+        from ..core.address import overlay_page_number
+        entry = self.system.controller.omt.lookup(
+            overlay_page_number(src_asid, vpn))
+        if entry is None or entry.obitvector.is_empty():
+            return
+        for line in entry.obitvector.lines():
+            data = self.system.line_bytes(src_asid, vpn, line)
+            self.system.install_overlay_line(dst_asid, vpn, line, data)
+
+    # -- CoW bookkeeping (called by the copy policy) ---------------------------------------
+
+    def note_cow_copy(self, asid: int, vpn: int, old_ppn: int,
+                      new_ppn: int) -> None:
+        """Record that (*asid*, *vpn*) broke its CoW share onto *new_ppn*."""
+        self.stats.cow_breaks += 1
+        process = self.processes.get(asid)
+        if process is not None:
+            process.mappings[vpn] = new_ppn
+        users = self.frame_users.get(old_ppn)
+        if users is not None:
+            users.discard((asid, vpn))
+        self.frame_users.setdefault(new_ppn, set()).add((asid, vpn))
+        remaining = self.allocator.release(old_ppn)
+        if remaining == 1 and users and len(users) == 1:
+            # Sole remaining sharer: drop its CoW protection lazily so it
+            # will not fault on its next write.
+            sole_asid, sole_vpn = next(iter(users))
+            self.system.update_mapping(sole_asid, sole_vpn,
+                                       cow=False, writable=True)
+
+    # -- memory accounting (Figure 8's metric) -------------------------------------------
+
+    def memory_marker(self) -> int:
+        """Snapshot of bytes in use (frames, incl. OMS-granted pages)."""
+        return self.allocator.bytes_in_use
+
+    def additional_memory_since(self, marker: int) -> int:
+        return self.allocator.bytes_in_use - marker

@@ -1,0 +1,16 @@
+"""Sparse-matrix substrate: pattern model, generators, and the three
+representations evaluated in Section 5.2 (dense, CSR, overlay)."""
+
+from .csr import CSRMatrix
+from .dense import DenseMatrix
+from .matrix_gen import (banded, block_diagonal, generate_with_locality,
+                         locality_sweep, random_uniform, realworld_like_suite)
+from .overlay_rep import OverlaySparseMatrix
+from .pattern import MatrixPattern, VALUE_BYTES, VALUES_PER_LINE
+from .spmv import (REPRESENTATIONS, SpMVResult, ideal_memory_bytes, run_spmv)
+
+__all__ = ["CSRMatrix", "DenseMatrix", "MatrixPattern",
+           "OverlaySparseMatrix", "REPRESENTATIONS", "SpMVResult",
+           "VALUE_BYTES", "VALUES_PER_LINE", "banded", "block_diagonal",
+           "generate_with_locality", "ideal_memory_bytes", "locality_sweep",
+           "random_uniform", "realworld_like_suite", "run_spmv"]

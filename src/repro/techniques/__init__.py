@@ -1,0 +1,14 @@
+"""The seven fine-grained memory management techniques of Table 1."""
+
+from .checkpoint import CheckpointManager, CheckpointRecord
+from .dedup import DeduplicationManager, DedupStats
+from .metadata import MetadataManager, MetadataStats
+from .overlay_on_write import OverlayOnWritePolicy, OverlayOnWriteStats
+from .speculation import SpeculationContext, SpeculationError, SpeculationStats
+from .superpage import PAGES_PER_SEGMENT, SuperpageManager, SuperpageStats
+
+__all__ = ["CheckpointManager", "CheckpointRecord", "DeduplicationManager",
+           "DedupStats", "MetadataManager", "MetadataStats",
+           "OverlayOnWritePolicy", "OverlayOnWriteStats",
+           "PAGES_PER_SEGMENT", "SpeculationContext", "SpeculationError",
+           "SpeculationStats", "SuperpageManager", "SuperpageStats"]

@@ -1,0 +1,18 @@
+"""Technique 2: sparse data structures (Section 5.2).
+
+The substrate lives in :mod:`repro.sparse`; this module is the
+technique-level entry point re-exporting the overlay representation
+(virtually dense matrix over a shared zero page, non-zero lines in
+overlays) and the harness that evaluates it against CSR and the dense
+baseline.
+
+See :class:`repro.sparse.OverlaySparseMatrix` for the representation and
+the *computation over overlays* model, and
+:func:`repro.sparse.run_spmv` for the simulated SpMV kernel.
+"""
+
+from ..sparse.overlay_rep import OverlaySparseMatrix
+from ..sparse.spmv import SpMVResult, ideal_memory_bytes, run_spmv
+
+__all__ = ["OverlaySparseMatrix", "SpMVResult", "ideal_memory_bytes",
+           "run_spmv"]

@@ -1,0 +1,196 @@
+"""Technique 7: flexible super-pages (Section 5.3.5).
+
+Super-pages cut TLB misses but force all-or-nothing management: to our
+knowledge (the paper's), no system shares a 2MB super-page
+copy-on-write, because one write would either copy 2MB or shatter the
+mapping into 512 base PTEs.  Applying overlays *at the PD level* fixes
+this: the super-page's OBitVector has one bit per 32KB segment (512
+pages / 64 bits = 8 pages per bit), and a written segment is remapped to
+the overlay — copying 8 pages instead of 512 — while the rest of the
+super-page keeps its single TLB entry.
+
+The same segment vector supports multiple protection domains within one
+super-page (per-segment protections).
+
+:class:`SuperpageManager` implements both the overlay scheme and the two
+baselines (full copy; shattering) so the ablation bench can compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.obitvector import OBitVector
+from ..core.page_table import SUPERPAGE_SPAN
+
+#: 4KB pages covered by one bit of a super-page OBitVector.
+PAGES_PER_SEGMENT = SUPERPAGE_SPAN // OBitVector.WIDTH  # 8 pages = 32KB
+
+
+@dataclass
+class SuperpageStats:
+    superpages_shared: int = 0
+    segment_copies: int = 0
+    pages_copied: int = 0
+    full_copies: int = 0
+    shatters: int = 0
+
+
+@dataclass
+class _SharedSuperpage:
+    base_vpn: int
+    base_ppn: int
+    #: per-sharer segment overlay state: asid -> (OBitVector, segment -> frames)
+    overlays: Dict[int, Tuple[OBitVector, Dict[int, List[int]]]] = field(
+        default_factory=dict)
+    #: per-segment protection domain: segment -> "rw" | "ro" | "none"
+    protections: Dict[int, str] = field(default_factory=dict)
+
+
+class SuperpageManager:
+    """Super-page sharing with segment-granularity overlays."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.stats = SuperpageStats()
+        self._shared: Dict[Tuple[int, int], _SharedSuperpage] = {}
+
+    # -- setup --------------------------------------------------------------------
+
+    def map_superpage(self, process, base_vpn: int) -> int:
+        """Allocate 512 contiguous frames and map them as one super-page."""
+        if base_vpn % SUPERPAGE_SPAN:
+            raise ValueError("super-page base must be 2MB-aligned")
+        # A super-page needs a physically contiguous, 2MB-aligned frame run.
+        frames = self.kernel.allocator.allocate_contiguous(
+            SUPERPAGE_SPAN, align=SUPERPAGE_SPAN)
+        base_ppn = frames[0]
+        process.page_table.map_superpage(base_vpn, base_ppn)
+        for i in range(SUPERPAGE_SPAN):
+            process.mappings[base_vpn + i] = base_ppn + i
+        return base_ppn
+
+    def share_cow(self, parent, child, base_vpn: int) -> _SharedSuperpage:
+        """Share parent's super-page with *child*, copy-on-write — the
+        mapping the paper says no existing system supports."""
+        pte = parent.page_table.superpage_entry(base_vpn)
+        if pte is None:
+            raise KeyError(f"no super-page at VPN {base_vpn:#x}")
+        child.page_table.map_superpage(base_vpn, pte.ppn, writable=False,
+                                       cow=True)
+        parent.page_table.map_superpage(base_vpn, pte.ppn, writable=False,
+                                        cow=True)
+        for i in range(SUPERPAGE_SPAN):
+            self.kernel.allocator.share(pte.ppn + i)
+            child.mappings[base_vpn + i] = pte.ppn + i
+        shared = _SharedSuperpage(base_vpn=base_vpn, base_ppn=pte.ppn)
+        self._shared[(child.asid, base_vpn)] = shared
+        self._shared[(parent.asid, base_vpn)] = shared
+        self.stats.superpages_shared += 1
+        return shared
+
+    # -- the overlay write path ------------------------------------------------------
+
+    def segment_of(self, vpn_offset: int) -> int:
+        return vpn_offset // PAGES_PER_SEGMENT
+
+    def write_page(self, process, vpn: int) -> int:
+        """A write to page *vpn* of a shared super-page: copy only the
+        32KB segment into the overlay.  Returns pages copied (0 when the
+        segment was already private)."""
+        base_vpn = vpn - (vpn % SUPERPAGE_SPAN)
+        shared = self._shared.get((process.asid, base_vpn))
+        if shared is None:
+            raise KeyError(f"super-page at {base_vpn:#x} is not shared")
+        vector, segments = shared.overlays.setdefault(
+            process.asid, (OBitVector(), {}))
+        segment = self.segment_of(vpn - base_vpn)
+        if vector.is_set(segment):
+            return 0  # segment already remapped to this sharer's overlay
+        frames = []
+        first_page = base_vpn + segment * PAGES_PER_SEGMENT
+        for i in range(PAGES_PER_SEGMENT):
+            src_ppn = shared.base_ppn + segment * PAGES_PER_SEGMENT + i
+            dst_ppn = self.kernel.allocator.allocate()
+            self.kernel.system.copy_page_via_dram(src_ppn, dst_ppn)
+            process.mappings[first_page + i] = dst_ppn
+            # Install a base-page PTE that overrides the super-page
+            # mapping for this page (the "overlay at the PD level"): the
+            # hardware walk now resolves these 8 pages privately while
+            # the rest of the 2MB region keeps its single PD entry.
+            process.page_table.map(first_page + i, dst_ppn,
+                                   writable=True, cow=False)
+            frames.append(dst_ppn)
+        self.kernel.system.coherence.shootdown(process.asid, first_page)
+        vector.set(segment)
+        segments[segment] = frames
+        self.stats.segment_copies += 1
+        self.stats.pages_copied += PAGES_PER_SEGMENT
+        return PAGES_PER_SEGMENT
+
+    def resolve_page(self, process, vpn: int) -> int:
+        """Physical frame backing *vpn*, honouring segment overlays."""
+        base_vpn = vpn - (vpn % SUPERPAGE_SPAN)
+        shared = self._shared.get((process.asid, base_vpn))
+        if shared is None:
+            pte = process.page_table.entry(vpn)
+            if pte is None:
+                raise KeyError(f"VPN {vpn:#x} not mapped")
+            return pte.ppn
+        offset = vpn - base_vpn
+        state = shared.overlays.get(process.asid)
+        if state is not None:
+            vector, segments = state
+            segment = self.segment_of(offset)
+            if vector.is_set(segment):
+                return segments[segment][offset % PAGES_PER_SEGMENT]
+        return shared.base_ppn + offset
+
+    # -- baselines for comparison ---------------------------------------------------------
+
+    def baseline_full_copy(self, process, base_vpn: int) -> int:
+        """Baseline A: copy the whole 2MB on first write (512 pages)."""
+        shared = self._shared.get((process.asid, base_vpn))
+        if shared is None:
+            raise KeyError(f"super-page at {base_vpn:#x} is not shared")
+        for i in range(SUPERPAGE_SPAN):
+            dst = self.kernel.allocator.allocate()
+            self.kernel.system.copy_page_via_dram(shared.base_ppn + i, dst)
+            process.mappings[base_vpn + i] = dst
+        self.stats.full_copies += 1
+        self.stats.pages_copied += SUPERPAGE_SPAN
+        return SUPERPAGE_SPAN
+
+    def baseline_shatter(self, process, base_vpn: int) -> int:
+        """Baseline B: shatter into 512 base PTEs (loses the single TLB
+        entry; each page then does ordinary CoW)."""
+        process.page_table.split_superpage(base_vpn)
+        self.stats.shatters += 1
+        return SUPERPAGE_SPAN
+
+    # -- protection domains ------------------------------------------------------------------
+
+    def set_segment_protection(self, process, base_vpn: int, segment: int,
+                               protection: str) -> None:
+        """Give one 32KB segment its own protection domain."""
+        if protection not in ("rw", "ro", "none"):
+            raise ValueError("protection must be rw/ro/none")
+        shared = self._shared.get((process.asid, base_vpn))
+        if shared is None:
+            raise KeyError(f"super-page at {base_vpn:#x} is not shared")
+        shared.protections[segment] = protection
+
+    def check_access(self, process, vpn: int, write: bool) -> bool:
+        """Would an access to *vpn* be permitted by segment protections?"""
+        base_vpn = vpn - (vpn % SUPERPAGE_SPAN)
+        shared = self._shared.get((process.asid, base_vpn))
+        if shared is None:
+            return True
+        segment = self.segment_of(vpn - base_vpn)
+        protection = shared.protections.get(segment, "rw")
+        if protection == "none":
+            return False
+        if protection == "ro" and write:
+            return False
+        return True

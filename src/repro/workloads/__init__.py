@@ -1,0 +1,7 @@
+"""Synthetic workload generators standing in for the paper's SPEC suite."""
+
+from .spec_like import (BENCHMARKS, TYPE_ORDER, BenchmarkProfile,
+                        measurement_trace, warmup_trace)
+
+__all__ = ["BENCHMARKS", "TYPE_ORDER", "BenchmarkProfile",
+           "measurement_trace", "warmup_trace"]

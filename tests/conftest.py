@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.framework import OverlaySystem
+from repro.osmodel.kernel import Kernel
+
+
+@pytest.fixture
+def system():
+    """A bare overlay system with no OS on top."""
+    return OverlaySystem()
+
+
+@pytest.fixture
+def kernel():
+    """A kernel with its own freshly wired machine."""
+    return Kernel()
+
+
+@pytest.fixture
+def process(kernel):
+    """A process with 8 pages mapped at VPN 0x100, filled with b'fx'."""
+    proc = kernel.create_process()
+    kernel.mmap(proc, 0x100, 8, fill=b"fx")
+    return proc
+
+
+@pytest.fixture
+def forked(kernel, process):
+    """(parent, child) sharing every page copy-on-write."""
+    child = kernel.fork(process)
+    return process, child

@@ -1,0 +1,165 @@
+"""Unit tests for the MMU and the overlay-aware memory controller."""
+
+import pytest
+
+from repro.core.address import (LINE_SIZE, line_tag_of, overlay_page_number,
+                                tag_is_overlay)
+from repro.core.framework import OverlaySystem
+from repro.core.mmu import MEMORY_ACCESS_CYCLES, MMU, MemoryController
+from repro.core.oms import OverlayMemoryStore, ZERO_LINE
+from repro.core.page_table import PageFault, PageTable
+from repro.core.tlb import TLB
+from repro.mem.dram import DRAM
+from repro.mem.mainmemory import MainMemory
+
+
+def make_controller():
+    return MemoryController(MainMemory(), DRAM(), OverlayMemoryStore())
+
+
+class TestControllerResolve:
+    def test_physical_tag_resolves_directly(self):
+        controller = make_controller()
+        address, latency = controller.resolve_miss(line_tag_of(5, 3))
+        assert address == (5 * 64 + 3) * LINE_SIZE
+        assert latency == 0
+
+    def test_overlay_tag_without_entry_resolves_to_none(self):
+        controller = make_controller()
+        opn = overlay_page_number(1, 0x10)
+        address, latency = controller.resolve_miss(line_tag_of(opn, 0))
+        assert address is None
+        assert latency > 0  # the OMT walk is charged
+
+    def test_overlay_tag_with_line_resolves_into_segment(self):
+        controller = make_controller()
+        opn = overlay_page_number(1, 0x10)
+        entry = controller.omt.ensure(opn)
+        entry.segment = controller.oms.allocate_segment(1)
+        entry.segment = controller.oms.write_line(entry.segment, 3, b"z" * 64)
+        address, _ = controller.resolve_miss(line_tag_of(opn, 3))
+        slot = entry.segment.slot_pointers[3]
+        assert address == entry.segment.base + (slot + 1) * LINE_SIZE
+
+    def test_omt_cache_hit_is_free(self):
+        controller = make_controller()
+        opn = overlay_page_number(1, 0x10)
+        controller.omt.ensure(opn)
+        controller.resolve_miss(line_tag_of(opn, 0))
+        _, latency = controller.resolve_miss(line_tag_of(opn, 1))
+        assert latency == 0
+
+
+class TestControllerData:
+    def test_fetch_physical_line(self):
+        controller = make_controller()
+        controller.main_memory.write_line(5, 3, b"m" * 64)
+        assert controller.fetch_data(line_tag_of(5, 3)) == b"m" * 64
+
+    def test_fetch_unbacked_overlay_line_is_zero(self):
+        controller = make_controller()
+        opn = overlay_page_number(1, 0x10)
+        assert controller.fetch_data(line_tag_of(opn, 0)) == ZERO_LINE
+        assert controller.stats.zero_line_fills == 1
+
+    def test_fetch_overlay_line_from_segment(self):
+        controller = make_controller()
+        opn = overlay_page_number(1, 0x10)
+        entry = controller.omt.ensure(opn)
+        entry.segment = controller.oms.allocate_segment(1)
+        entry.segment = controller.oms.write_line(entry.segment, 2, b"q" * 64)
+        assert controller.fetch_data(line_tag_of(opn, 2)) == b"q" * 64
+
+
+class TestControllerWriteback:
+    def test_physical_writeback_lands_in_main_memory(self):
+        controller = make_controller()
+        controller.handle_writeback(line_tag_of(7, 1), b"d" * 64)
+        assert controller.main_memory.read_line(7, 1) == b"d" * 64
+        assert controller.stats.physical_writebacks == 1
+
+    def test_overlay_writeback_allocates_lazily(self):
+        """Section 4.3.3: memory is allocated on dirty-line eviction."""
+        controller = make_controller()
+        opn = overlay_page_number(1, 0x10)
+        assert controller.oms.allocated_bytes == 0
+        controller.handle_writeback(line_tag_of(opn, 4), b"w" * 64)
+        entry = controller.omt.lookup(opn)
+        assert entry.segment is not None
+        assert entry.segment.read_line(4) == b"w" * 64
+        assert controller.oms.allocated_bytes > 0
+        assert controller.stats.overlay_writebacks == 1
+
+    def test_overlay_writeback_grows_segment(self):
+        controller = make_controller()
+        opn = overlay_page_number(1, 0x10)
+        for line in range(10):
+            controller.handle_writeback(line_tag_of(opn, line),
+                                        bytes([line]) * 64)
+        entry = controller.omt.lookup(opn)
+        assert entry.segment.size >= 1024
+        for line in range(10):
+            assert entry.segment.read_line(line) == bytes([line]) * 64
+
+    def test_writeback_none_data_stores_zero(self):
+        controller = make_controller()
+        opn = overlay_page_number(1, 0x10)
+        controller.handle_writeback(line_tag_of(opn, 0), None)
+        assert controller.omt.lookup(opn).segment.read_line(0) == ZERO_LINE
+
+    def test_drop_overlay_frees_everything(self):
+        controller = make_controller()
+        opn = overlay_page_number(1, 0x10)
+        controller.handle_writeback(line_tag_of(opn, 0), b"x" * 64)
+        controller.drop_overlay(opn)
+        assert controller.omt.lookup(opn) is None
+        assert controller.oms.allocated_bytes == 0
+
+
+class TestMMU:
+    def make_mmu(self):
+        controller = make_controller()
+        tables = {1: PageTable(asid=1)}
+        tables[1].map(0x10, 0x99)
+        mmu = MMU(TLB(), tables, controller)
+        return mmu, tables[1], controller
+
+    def test_translate_hit_after_miss(self):
+        mmu, _, _ = self.make_mmu()
+        first = mmu.translate(1, 0x10)
+        assert not first.tlb_hit
+        assert first.latency >= mmu.tlb.miss_latency
+        second = mmu.translate(1, 0x10)
+        assert second.tlb_hit
+        assert second.latency == mmu.tlb.l1_latency
+
+    def test_miss_fetches_obitvector_from_omt(self):
+        mmu, _, controller = self.make_mmu()
+        opn = overlay_page_number(1, 0x10)
+        entry = controller.omt.ensure(opn)
+        entry.obitvector.set(9)
+        result = mmu.translate(1, 0x10)
+        assert result.entry.obitvector.is_set(9)
+
+    def test_overlay_disabled_mapping_skips_omt(self):
+        mmu, table, controller = self.make_mmu()
+        table.map(0x20, 0x98, overlays_enabled=False)
+        walks_before = controller.omt_cache.stats.walks
+        mmu.translate(1, 0x20)
+        assert controller.omt_cache.stats.walks == walks_before
+
+    def test_translate_unknown_asid_raises(self):
+        mmu, _, _ = self.make_mmu()
+        with pytest.raises(KeyError):
+            mmu.translate(99, 0x10)
+
+    def test_translate_unmapped_faults(self):
+        mmu, _, _ = self.make_mmu()
+        with pytest.raises(PageFault):
+            mmu.translate(1, 0x77)
+
+    def test_refresh_drops_translation(self):
+        mmu, _, _ = self.make_mmu()
+        mmu.translate(1, 0x10)
+        mmu.refresh(1, 0x10)
+        assert not mmu.translate(1, 0x10).tlb_hit

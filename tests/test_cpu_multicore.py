@@ -1,0 +1,115 @@
+"""Tests for the event-driven multi-core scheduler."""
+
+import pytest
+
+from repro.core.address import PAGE_SIZE
+from repro.cpu.core import Core
+from repro.cpu.multicore import MultiCoreScheduler
+from repro.cpu.trace import MemoryAccess, Trace
+from repro.osmodel.kernel import Kernel
+from repro.techniques.overlay_on_write import OverlayOnWritePolicy
+
+
+def dual_machine(pages=32):
+    kernel = Kernel(num_cores=2)
+    a = kernel.create_process()
+    b = kernel.create_process()
+    kernel.mmap(a, 0x100, pages, fill=b"aa")
+    kernel.mmap(b, 0x800, pages, fill=b"bb")
+    return kernel, a, b
+
+
+class TestScheduling:
+    def test_both_traces_complete(self):
+        kernel, a, b = dual_machine()
+        scheduler = MultiCoreScheduler(kernel.system)
+        jobs = [
+            (Core(kernel.system, a.asid, core_id=0),
+             Trace.sequential(0x100 * PAGE_SIZE, 50, stride=64)),
+            (Core(kernel.system, b.asid, core_id=1),
+             Trace.sequential(0x800 * PAGE_SIZE, 80, stride=64)),
+        ]
+        stats = scheduler.run(jobs)
+        assert stats[0].memory_accesses == 50
+        assert stats[1].memory_accesses == 80
+        assert all(s.cycles > 0 for s in stats)
+
+    def test_matches_single_core_when_alone(self):
+        """One job through the scheduler == Core.run directly."""
+        kernel, a, _ = dual_machine()
+        trace = Trace.sequential(0x100 * PAGE_SIZE, 40, stride=64)
+        solo_kernel, solo_a, _ = dual_machine()
+        solo = Core(solo_kernel.system, solo_a.asid).run(trace)
+        scheduled = MultiCoreScheduler(kernel.system).run(
+            [(Core(kernel.system, a.asid), trace)])
+        assert scheduled[0].cycles == solo.cycles
+        assert scheduled[0].instructions == solo.instructions
+
+    def test_co_runners_interfere(self):
+        """Two DRAM-heavy streams sharing one channel each run slower
+        than they would alone."""
+        def stream(base):
+            return Trace.sequential(base, 150, stride=4096, gap=1)
+
+        solo_kernel, solo_a, _ = dual_machine(pages=256)
+        solo = Core(solo_kernel.system, solo_a.asid).run(
+            stream(0x100 * PAGE_SIZE))
+
+        kernel, a, b = dual_machine(pages=256)
+        stats = MultiCoreScheduler(kernel.system).run([
+            (Core(kernel.system, a.asid, core_id=0),
+             stream(0x100 * PAGE_SIZE)),
+            (Core(kernel.system, b.asid, core_id=1),
+             stream(0x800 * PAGE_SIZE)),
+        ])
+        assert min(s.cycles for s in stats) >= solo.cycles
+
+    def test_data_isolation_between_cores(self):
+        kernel, a, b = dual_machine()
+        writes_a = Trace([MemoryAccess(vaddr=0x100 * PAGE_SIZE + i * 64,
+                                       write=True, data=b"AAAAAAAA")
+                          for i in range(20)])
+        writes_b = Trace([MemoryAccess(vaddr=0x800 * PAGE_SIZE + i * 64,
+                                       write=True, data=b"BBBBBBBB")
+                          for i in range(20)])
+        MultiCoreScheduler(kernel.system).run([
+            (Core(kernel.system, a.asid, core_id=0), writes_a),
+            (Core(kernel.system, b.asid, core_id=1), writes_b),
+        ])
+        assert kernel.system.read(a.asid, 0x100 * PAGE_SIZE, 8)[0] == b"A" * 8
+        assert kernel.system.read(b.asid, 0x800 * PAGE_SIZE, 8)[0] == b"B" * 8
+
+    def test_overlaying_writes_during_corun_stay_coherent(self):
+        """Core 0 remaps lines of a shared CoW region while core 1 reads
+        its own pages — coherence messages fly mid-run without breaking
+        either core."""
+        kernel = Kernel(num_cores=2)
+        parent = kernel.create_process()
+        kernel.mmap(parent, 0x100, 8, fill=b"sh")
+        kernel.install_cow_policy(OverlayOnWritePolicy(kernel))
+        child = kernel.fork(parent)
+        other = kernel.create_process()
+        kernel.mmap(other, 0x800, 8, fill=b"ot")
+
+        writer = Trace([MemoryAccess(vaddr=0x100 * PAGE_SIZE + i * 64,
+                                     write=True, data=b"OVERLAYW")
+                        for i in range(8)])
+        reader = Trace.sequential(0x800 * PAGE_SIZE, 60, stride=64)
+        MultiCoreScheduler(kernel.system).run([
+            (Core(kernel.system, child.asid, core_id=0), writer),
+            (Core(kernel.system, other.asid, core_id=1), reader),
+        ])
+        assert kernel.system.read(child.asid, 0x100 * PAGE_SIZE, 8)[0] == b"OVERLAYW"
+        assert kernel.system.read(parent.asid, 0x100 * PAGE_SIZE, 2)[0] == b"sh"
+        assert kernel.system.overlay_line_count(child.asid, 0x100) == 8
+
+    def test_empty_job_list(self):
+        kernel, _, _ = dual_machine()
+        assert MultiCoreScheduler(kernel.system).run([]) == []
+
+    def test_empty_trace_job(self):
+        kernel, a, _ = dual_machine()
+        stats = MultiCoreScheduler(kernel.system).run(
+            [(Core(kernel.system, a.asid), Trace())])
+        assert stats[0].memory_accesses == 0
+        assert stats[0].cycles == 0

@@ -1,0 +1,88 @@
+"""Unit tests for experiment-harness helpers not covered elsewhere."""
+
+import pytest
+
+from repro.eval.fork_experiment import BenchmarkComparison, PolicyRun
+from repro.eval.granularity_experiment import Figure11Point
+from repro.eval.spmv_experiment import Figure10Point, crossover_locality
+from repro.mem.stats import StatRegistry
+
+
+def run(policy, memory, cpi):
+    return PolicyRun(benchmark="b", type_id=2, policy=policy,
+                     additional_memory_bytes=memory, cpi=cpi,
+                     instructions=1000, cycles=int(cpi * 1000))
+
+
+class TestPolicyRun:
+    def test_memory_mb(self):
+        assert run("copy-on-write", 2 * 1024 * 1024, 1.0
+                   ).additional_memory_mb == 2.0
+
+
+class TestComparison:
+    def make(self, cow_mem=100, oow_mem=25, cow_cpi=10.0, oow_cpi=8.0):
+        return BenchmarkComparison(
+            benchmark="b", type_id=2,
+            cow=run("copy-on-write", cow_mem, cow_cpi),
+            oow=run("overlay-on-write", oow_mem, oow_cpi))
+
+    def test_memory_reduction(self):
+        assert self.make().memory_reduction == pytest.approx(0.75)
+
+    def test_memory_reduction_zero_baseline(self):
+        assert self.make(cow_mem=0).memory_reduction == 0.0
+
+    def test_performance_improvement(self):
+        assert self.make().performance_improvement == pytest.approx(0.2)
+
+
+def point(locality, perf):
+    return Figure10Point(matrix="m", locality=locality, nnz=1,
+                         relative_performance=perf, relative_memory=1.0,
+                         csr_cycles=1, overlay_cycles=1)
+
+
+class TestCrossover:
+    def test_simple_crossover(self):
+        points = [point(1, 0.5), point(4, 1.2), point(8, 2.0)]
+        assert crossover_locality(points) == 4
+
+    def test_dip_after_crossing_moves_it_later(self):
+        points = [point(1, 0.5), point(3, 1.1), point(5, 0.9),
+                  point(8, 2.0)]
+        assert crossover_locality(points) == 8
+
+    def test_always_winning(self):
+        points = [point(1, 1.5), point(8, 2.0)]
+        assert crossover_locality(points) == 1
+
+    def test_never_winning(self):
+        points = [point(1, 0.5), point(8, 0.9)]
+        assert crossover_locality(points) is None
+
+
+class TestFigure11Point:
+    def test_finest_block_beating_csr(self):
+        p = Figure11Point(matrix="m", locality=2.0, csr_overhead=1.5,
+                          block_overheads={16: 1.2, 64: 1.4, 4096: 9.0})
+        assert p.finest_block_beating_csr() == 64
+
+    def test_none_beats(self):
+        p = Figure11Point(matrix="m", locality=1.0, csr_overhead=1.0,
+                          block_overheads={16: 2.0, 4096: 9.0})
+        assert p.finest_block_beating_csr() is None
+
+
+class TestStatRegistry:
+    def test_snapshot_extracts_numeric_fields(self):
+        class Block:
+            def __init__(self):
+                self.hits = 3
+                self.rate = 0.5
+                self.name = "ignore-me"
+
+        registry = StatRegistry()
+        registry.register("block", Block())
+        snapshot = registry.snapshot()
+        assert snapshot["block"] == {"hits": 3, "rate": 0.5}

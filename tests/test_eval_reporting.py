@@ -1,0 +1,86 @@
+"""Tests for the ASCII reporting helpers and the CLI runner."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main as cli_main
+from repro.eval.reporting import (bar_chart, grouped_bar_chart, series_plot,
+                                  table)
+
+
+class TestBarCharts:
+    def test_bars_scale_with_values(self):
+        text = bar_chart([("a", 10.0), ("b", 5.0)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].count("#") == 2 * lines[2].count("#")
+
+    def test_zero_value_has_no_bar(self):
+        text = bar_chart([("a", 10.0), ("zero", 0.0)])
+        assert "#" not in text.splitlines()[1].split("|")[1].split()[0:1] or True
+        zero_line = [l for l in text.splitlines() if l.startswith("zero")][0]
+        assert "#" not in zero_line
+
+    def test_empty_rows(self):
+        assert bar_chart([], title="nothing") == "nothing"
+
+    def test_unit_suffix(self):
+        assert "2.00x" in bar_chart([("r", 2.0)], unit="x")
+
+    def test_grouped_chart_has_both_series(self):
+        text = grouped_bar_chart([("bench", 4.0, 2.0)],
+                                 series=("cow", "oow"))
+        assert "#" in text and "=" in text
+        assert "cow" in text and "oow" in text
+
+
+class TestSeriesPlot:
+    def test_plot_contains_points_and_reference(self):
+        points = [(1.0, 0.5), (4.0, 1.0), (8.0, 2.0)]
+        text = series_plot(points, title="fig", x_label="L",
+                           y_label="ratio", y_reference=1.0)
+        assert "fig" in text
+        assert text.count("*") == 3
+        assert "-" in text  # the reference line
+        assert "L" in text and "ratio" in text
+
+    def test_single_point(self):
+        text = series_plot([(1.0, 1.0)])
+        assert "*" in text
+
+    def test_empty_points(self):
+        assert series_plot([], title="t") == "t"
+
+
+class TestTable:
+    def test_alignment(self):
+        text = table(["name", "value"], [["ab", 1], ["c", 22]])
+        lines = text.splitlines()
+        assert lines[0].index("value") == lines[2].index("1")
+
+    def test_empty_rows(self):
+        text = table(["h1", "h2"], [])
+        assert "h1" in text
+
+
+class TestCLI:
+    def test_list_returns_zero(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["figure99"]) == 2
+        assert "unknown" in capsys.readouterr().out
+
+    def test_runs_cheap_experiments(self, capsys):
+        assert cli_main(["table2", "hardware-cost", "remap-latency"]) == 0
+        out = capsys.readouterr().out
+        assert "Processor" in out
+        assert "94.5" in out.replace(" ", "")
+        assert "faster" in out
+
+    def test_every_experiment_registered_with_description(self):
+        for name, (func, description) in EXPERIMENTS.items():
+            assert callable(func)
+            assert description

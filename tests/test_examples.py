@@ -1,0 +1,30 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example carries its own assertions (data correctness after abort,
+dedup image preservation, ...) so a clean exit is a meaningful check.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_example_directory_is_populated():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship six
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=180)
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stderr[-2000:]}")
+    assert result.stdout.strip(), f"{script.name} printed nothing"

@@ -1,0 +1,156 @@
+"""Unit tests for the three-level hierarchy and its overlay hooks."""
+
+import pytest
+
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.mainmemory import MainMemory
+
+
+class RecordingBackend:
+    """A hand-rolled backend recording resolver/writeback traffic."""
+
+    def __init__(self):
+        self.memory = MainMemory()
+        self.writebacks = []
+        self.fetches = []
+
+    def resolve(self, tag):
+        return tag * 64, 0
+
+    def fetch(self, tag):
+        self.fetches.append(tag)
+        return self.memory.read_line(tag // 64, tag % 64)
+
+    def writeback(self, tag, data):
+        self.writebacks.append((tag, data))
+        if data is not None:
+            self.memory.write_line(tag // 64, tag % 64, data)
+        return 0
+
+
+def make():
+    backend = RecordingBackend()
+    hierarchy = MemoryHierarchy(resolve_miss=backend.resolve,
+                                handle_writeback=backend.writeback,
+                                fetch_data=backend.fetch)
+    return hierarchy, backend
+
+
+class TestDemandPath:
+    def test_miss_fills_all_levels(self):
+        hierarchy, _ = make()
+        result = hierarchy.access(100)
+        assert result.level == "MEM"
+        assert 100 in hierarchy.l1
+        assert 100 in hierarchy.l2
+        assert 100 in hierarchy.l3
+
+    def test_l1_hit_is_fast(self):
+        hierarchy, _ = make()
+        hierarchy.access(100)
+        result = hierarchy.access(100)
+        assert result.level == "L1"
+        assert result.latency <= hierarchy.l1.hit_latency
+
+    def test_latency_ordering(self):
+        hierarchy, _ = make()
+        mem = hierarchy.access(100).latency
+        l1 = hierarchy.access(100).latency
+        assert mem > l1
+
+    def test_l2_hit_refills_l1(self):
+        hierarchy, _ = make()
+        hierarchy.access(100)
+        hierarchy.l1.invalidate(100)
+        result = hierarchy.access(100)
+        assert result.level == "L2"
+        assert 100 in hierarchy.l1
+
+    def test_l3_hit_refills_upper_levels(self):
+        hierarchy, _ = make()
+        hierarchy.access(100)
+        hierarchy.l1.invalidate(100)
+        hierarchy.l2.invalidate(100)
+        result = hierarchy.access(100)
+        assert result.level == "L3"
+        assert 100 in hierarchy.l1 and 100 in hierarchy.l2
+
+    def test_miss_carries_backing_data(self):
+        hierarchy, backend = make()
+        backend.memory.write_line(1, 4, b"k" * 64)
+        hierarchy.access(100)  # tag 100 = page 1, line 36? (100//64=1,100%64=36)
+        hierarchy.access(68)   # page 1, line 4
+        assert hierarchy.lookup_data(68) == b"k" * 64
+
+    def test_write_miss_allocates_and_dirties(self):
+        hierarchy, _ = make()
+        hierarchy.access(100, write=True, data=b"w" * 64)
+        line = hierarchy.l1.lookup(100)
+        assert line.dirty and line.data == b"w" * 64
+
+
+class TestWritebackChain:
+    def test_dirty_data_survives_eviction_chain(self):
+        """A dirty line evicted from L1 spills to L2, L3, then memory."""
+        hierarchy, backend = make()
+        hierarchy.access(0, write=True, data=b"D" * 64)
+        # Force the line down by thrashing L1's set 0 (256 sets in L1).
+        for i in range(1, 6):
+            hierarchy.access(i * 256, write=False)
+        assert hierarchy.lookup_data(0) == b"D" * 64  # still in L2/L3
+
+    def test_flush_dirty_reaches_backend(self):
+        hierarchy, backend = make()
+        hierarchy.access(100, write=True, data=b"f" * 64)
+        flushed = hierarchy.flush_dirty()
+        assert flushed >= 1
+        assert (100, b"f" * 64) in backend.writebacks
+        assert backend.memory.read_line(1, 36) == b"f" * 64
+
+    def test_invalidate_with_writeback(self):
+        hierarchy, backend = make()
+        hierarchy.access(100, write=True, data=b"i" * 64)
+        hierarchy.invalidate(100, writeback=True)
+        assert hierarchy.lookup_data(100) is None
+        assert backend.writebacks
+
+    def test_invalidate_without_writeback_discards(self):
+        hierarchy, backend = make()
+        hierarchy.access(100, write=True, data=b"i" * 64)
+        hierarchy.invalidate(100, writeback=False)
+        assert not backend.writebacks
+
+
+class TestRetag:
+    def test_retag_moves_line_across_levels(self):
+        hierarchy, _ = make()
+        hierarchy.access(100, write=True, data=b"r" * 64)
+        assert hierarchy.retag(100, 777)
+        assert hierarchy.lookup_data(777) == b"r" * 64
+        assert hierarchy.lookup_data(100) is None
+
+    def test_retag_missing_line_fails(self):
+        hierarchy, _ = make()
+        assert not hierarchy.retag(1, 2)
+
+
+class TestPrefetcherIntegration:
+    def test_streaming_misses_prefetch_into_l3(self):
+        hierarchy, _ = make()
+        for tag in range(1000, 1010):
+            hierarchy.access(tag)
+        assert hierarchy.l3.stats.prefetch_fills > 0
+
+    def test_prefetched_lines_carry_data(self):
+        hierarchy, backend = make()
+        for line in range(64):
+            backend.memory.write_line(20, line, bytes([line]) * 64)
+        for line in range(6):
+            hierarchy.access(20 * 64 + line)
+        # A line beyond the demand stream was prefetched with its data.
+        pf_tags = [tag for tag in hierarchy.l3.resident_tags()
+                   if 20 * 64 + 5 < tag < 21 * 64]
+        assert pf_tags
+        for tag in pf_tags:
+            line = hierarchy.l3.lookup(tag)
+            assert line.data == bytes([tag % 64]) * 64

@@ -1,0 +1,110 @@
+"""Multi-core tests: TLB coherence across cores (Section 4.3.3's reason
+to exist) and per-core access paths sharing one hierarchy."""
+
+import pytest
+
+from repro.core.address import LINE_SIZE, PAGE_SIZE
+from repro.core.framework import OverlaySystem
+from repro.osmodel.kernel import Kernel
+from repro.techniques.overlay_on_write import OverlayOnWritePolicy
+
+BASE = 0x10 * PAGE_SIZE
+
+
+@pytest.fixture
+def quad():
+    return OverlaySystem(num_cores=4)
+
+
+class TestCrossCoreCoherence:
+    def test_overlaying_write_updates_every_core_tlb(self, quad):
+        """A thread on core 2 remaps a line; cores 0,1,3 (same address
+        space) must see the overlay on their next access without any
+        TLB refill."""
+        quad.main_memory.write_page(0x42, b"S" * PAGE_SIZE)
+        quad.map_page(1, 0x10, 0x42, cow=True, writable=False)
+        # Every core caches the translation first.
+        for core in range(4):
+            quad.read(1, BASE, 8, core=core)
+        misses_before = [tlb.stats.misses for tlb in quad.tlbs]
+
+        quad.write(1, BASE + 5 * LINE_SIZE, b"CORE2!", core=2)
+
+        for core in range(4):
+            data, _ = quad.read(1, BASE + 5 * LINE_SIZE, 6, core=core)
+            assert data == b"CORE2!", f"core {core} missed the remap"
+        # No core needed a TLB refill: the coherence message updated the
+        # cached OBitVectors in place (no shootdown!).
+        assert [tlb.stats.misses for tlb in quad.tlbs] == misses_before
+        assert quad.coherence.stats.shootdowns == 0
+        assert quad.coherence.stats.tlb_entries_updated >= 4
+
+    def test_snoop_only_touches_caching_cores(self, quad):
+        quad.map_page(1, 0x10, 0x42, cow=True, writable=False)
+        quad.read(1, BASE, 8, core=0)   # only core 0 caches the mapping
+        quad.write(1, BASE, b"w", core=0)
+        assert quad.tlbs[0].stats.snoop_updates == 1
+        for core in (1, 2, 3):
+            assert quad.tlbs[core].stats.snoop_updates == 0
+
+    def test_promotion_broadcast_reaches_all_cores(self, quad):
+        quad.map_page(1, 0x10, 0x42, cow=True, writable=False)
+        for core in range(4):
+            quad.read(1, BASE, 8, core=core)
+        quad.write(1, BASE, b"x", core=0)
+        quad.promote(1, 0x10, "discard")
+        for core in range(4):
+            entry = quad.tlbs[core].cached_entry(1, 0x10)
+            if entry is not None:
+                assert entry.obitvector.is_empty()
+
+    def test_shootdown_invalidates_every_core(self, quad):
+        quad.map_page(1, 0x10, 0x42)
+        for core in range(4):
+            quad.read(1, BASE, 8, core=core)
+        quad.coherence.shootdown(1, 0x10)
+        for core in range(4):
+            assert quad.tlbs[core].cached_entry(1, 0x10) is None
+
+
+class TestSharedHierarchy:
+    def test_cores_share_the_cache_hierarchy(self, quad):
+        quad.map_page(1, 0x10, 0x42)
+        _, cold = quad.read(1, BASE, 8, core=0)
+        # Core 1 pays its own TLB miss but hits the shared caches.
+        _, warm = quad.read(1, BASE, 8, core=1)
+        assert warm < cold
+
+    def test_distinct_address_spaces_do_not_leak(self, quad):
+        quad.map_page(1, 0x10, 0x42)
+        quad.map_page(2, 0x10, 0x43)
+        quad.write(1, BASE, b"ONE", core=0)
+        quad.write(2, BASE, b"TWO", core=1)
+        assert quad.read(1, BASE, 3, core=0)[0] == b"ONE"
+        assert quad.read(2, BASE, 3, core=1)[0] == b"TWO"
+
+
+class TestMultiCoreKernel:
+    def test_kernel_with_multiple_cores(self):
+        kernel = Kernel(num_cores=2)
+        parent = kernel.create_process()
+        kernel.mmap(parent, 0x10, 2, fill=b"mc")
+        kernel.install_cow_policy(OverlayOnWritePolicy(kernel))
+        child = kernel.fork(parent)
+        # Parent runs on core 0, child on core 1.
+        kernel.system.write(parent.asid, BASE, b"P", core=0)
+        kernel.system.write(child.asid, BASE, b"C", core=1)
+        assert kernel.system.read(parent.asid, BASE, 1, core=0)[0] == b"P"
+        assert kernel.system.read(child.asid, BASE, 1, core=1)[0] == b"C"
+
+    def test_threads_of_one_process_on_two_cores(self):
+        kernel = Kernel(num_cores=2)
+        process = kernel.create_process()
+        kernel.mmap(process, 0x10, 1, fill=b"t")
+        kernel.install_cow_policy(OverlayOnWritePolicy(kernel))
+        kernel.fork(process)  # makes the page CoW
+        # Thread A (core 0) triggers the overlaying write; thread B
+        # (core 1) immediately observes it.
+        kernel.system.read(process.asid, BASE, 1, core=1)
+        kernel.system.write(process.asid, BASE, b"A", core=0)
+        assert kernel.system.read(process.asid, BASE, 1, core=1)[0] == b"A"

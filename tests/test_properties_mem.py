@@ -1,0 +1,110 @@
+"""Hypothesis property tests for the memory-hierarchy layer."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.dram import DRAM
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.mainmemory import MainMemory
+
+slow = settings(max_examples=30, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+tags = st.integers(0, 255)
+ops = st.lists(st.tuples(tags, st.booleans(), st.integers(0, 255)),
+               min_size=1, max_size=120)
+
+
+class TestCacheModelEquivalence:
+    @slow
+    @given(ops, st.sampled_from(["lru", "drrip"]))
+    def test_cache_never_returns_stale_data(self, sequence, policy):
+        """Whatever the replacement policy does, a hit must return the
+        most recently written data for that tag."""
+        cache = SetAssociativeCache("P", size_bytes=8 * 64 * 2, ways=2,
+                                    policy=policy)
+        latest = {}
+        for tag, write, value in sequence:
+            data = bytes([value]) * 64
+            hit, _ = cache.access(tag, write=write,
+                                  data=data if write else None)
+            if not hit:
+                cache.fill(tag, data=data if write else latest.get(tag),
+                           dirty=write)
+            if write:
+                latest[tag] = data
+            line = cache.lookup(tag)
+            if line is not None and line.data is not None and tag in latest:
+                assert line.data == latest[tag]
+
+    @slow
+    @given(ops)
+    def test_occupancy_never_exceeds_capacity(self, sequence):
+        cache = SetAssociativeCache("P", size_bytes=4 * 64 * 2, ways=2)
+        for tag, write, value in sequence:
+            hit, _ = cache.access(tag, write=write)
+            if not hit:
+                cache.fill(tag)
+            assert len(cache) <= 8
+
+
+class TestHierarchyEquivalence:
+    @slow
+    @given(ops)
+    def test_hierarchy_equals_flat_memory(self, sequence):
+        """Through three levels, spills and prefetches, the hierarchy is
+        observationally a flat byte store."""
+        memory = MainMemory()
+
+        def fetch(tag):
+            return memory.read_line(tag // 64, tag % 64)
+
+        def writeback(tag, data):
+            if data is not None:
+                memory.write_line(tag // 64, tag % 64, data)
+            return 0
+
+        hierarchy = MemoryHierarchy(
+            resolve_miss=lambda tag: (tag * 64, 0),
+            handle_writeback=writeback, fetch_data=fetch,
+            l1_kwargs=dict(size_bytes=4 * 64 * 2, ways=2),
+            l2_kwargs=dict(size_bytes=8 * 64 * 2, ways=2),
+            l3_kwargs=dict(size_bytes=16 * 64 * 2, ways=2))
+        reference = {}
+        for tag, write, value in sequence:
+            if write:
+                data = bytes([value]) * 64
+                hierarchy.access(tag, write=True, data=data)
+                reference[tag] = data
+            else:
+                hierarchy.access(tag, write=False)
+                observed = hierarchy.lookup_data(tag)
+                expected = reference.get(tag, bytes(64))
+                assert observed == expected
+        hierarchy.flush_dirty()
+        for tag, expected in reference.items():
+            assert memory.read_line(tag // 64, tag % 64) == expected
+
+
+class TestDRAMProperties:
+    @slow
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=60))
+    def test_latency_always_positive_and_bounded(self, addresses):
+        dram = DRAM()
+        now = 0
+        for address in addresses:
+            latency = dram.read(address * 64, now)
+            assert latency > 0
+            # Bounded by worst-case conflict + full queue of prior bursts.
+            assert latency < 10_000 + len(addresses) * 200
+            now += 10
+
+    @slow
+    @given(st.lists(st.integers(0, 1 << 16), min_size=2, max_size=40))
+    def test_row_hits_plus_misses_equals_accesses(self, addresses):
+        dram = DRAM()
+        for i, address in enumerate(addresses):
+            dram.read(address * 64, i * 1000)
+        assert (dram.stats.row_hits + dram.stats.row_misses
+                == len(addresses))

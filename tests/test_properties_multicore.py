@@ -1,0 +1,91 @@
+"""Hypothesis property tests for multi-core interleavings.
+
+Random schedules of reads/writes from two cores over two address spaces
+must be observationally equivalent to a per-address-space reference
+model — regardless of interleaving, contention, or which core triggers
+the overlaying writes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.address import PAGE_SIZE
+from repro.osmodel.kernel import Kernel
+from repro.techniques.overlay_on_write import OverlayOnWritePolicy
+
+PAGES = 2
+BASE_VPN = 0x100
+BASE = BASE_VPN * PAGE_SIZE
+
+#: op = (core, which_space, offset, payload)
+ops_strategy = st.lists(
+    st.tuples(st.integers(0, 1), st.integers(0, 1),
+              st.integers(0, PAGES * PAGE_SIZE - 9),
+              st.binary(min_size=1, max_size=8)),
+    min_size=1, max_size=30)
+
+slow = settings(max_examples=20, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def build():
+    kernel = Kernel(num_cores=2)
+    a = kernel.create_process()
+    b = kernel.create_process()
+    kernel.mmap(a, BASE_VPN, PAGES, fill=b"aa")
+    kernel.mmap(b, BASE_VPN, PAGES, fill=b"bb")
+    return kernel, (a, b)
+
+
+def image_of(kernel, process):
+    return b"".join(kernel.system.page_bytes(process.asid, BASE_VPN + i)
+                    for i in range(PAGES))
+
+
+class TestMultiCoreEquivalence:
+    @slow
+    @given(ops_strategy)
+    def test_interleaved_writes_match_reference(self, ops):
+        kernel, processes = build()
+        references = [bytearray(b"aa" * (PAGES * PAGE_SIZE // 2)),
+                      bytearray(b"bb" * (PAGES * PAGE_SIZE // 2))]
+        for core, space, offset, payload in ops:
+            kernel.system.write(processes[space].asid, BASE + offset,
+                                payload, core=core)
+            references[space][offset:offset + len(payload)] = payload
+        for space in (0, 1):
+            assert image_of(kernel, processes[space]) == bytes(
+                references[space])
+
+    @slow
+    @given(ops_strategy)
+    def test_forked_space_under_two_cores(self, ops):
+        """Both cores write into the *same* forked address space; the
+        parent's frozen image must never change."""
+        kernel, (parent, _) = build()
+        kernel.install_cow_policy(OverlayOnWritePolicy(kernel))
+        child = kernel.fork(parent)
+        frozen = image_of(kernel, parent)
+        reference = bytearray(frozen)
+        for core, _, offset, payload in ops:
+            kernel.system.write(child.asid, BASE + offset, payload,
+                                core=core)
+            reference[offset:offset + len(payload)] = payload
+        assert image_of(kernel, child) == bytes(reference)
+        assert image_of(kernel, parent) == frozen
+
+    @slow
+    @given(ops_strategy)
+    def test_reads_see_latest_write_across_cores(self, ops):
+        kernel, (process, _) = build()
+        last = {}
+        for core, _, offset, payload in ops:
+            kernel.system.write(process.asid, BASE + offset, payload,
+                                core=core)
+            for i, byte in enumerate(payload):
+                last[offset + i] = byte
+        # Read back each written byte from the *other* core.
+        for offset, byte in last.items():
+            data, _ = kernel.system.read(process.asid, BASE + offset, 1,
+                                         core=1)
+            assert data[0] == byte

@@ -1,0 +1,52 @@
+"""Public-API surface tests: every documented export resolves, and the
+package's layering holds (core never imports eval/techniques)."""
+
+import importlib
+import sys
+
+import pytest
+
+
+PACKAGES = ["repro", "repro.core", "repro.mem", "repro.cpu",
+            "repro.osmodel", "repro.techniques", "repro.sparse",
+            "repro.workloads", "repro.eval"]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_exports_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    def test_top_level_convenience(self):
+        import repro
+        assert repro.PAGE_SIZE == 4096
+        assert repro.LINE_SIZE == 64
+        system = repro.OverlaySystem()
+        assert system is not None
+        assert repro.__version__
+
+    def test_techniques_sparse_entry_point(self):
+        from repro.techniques.sparse import (OverlaySparseMatrix,
+                                             ideal_memory_bytes, run_spmv)
+        assert callable(run_spmv)
+
+
+class TestLayering:
+    def test_core_does_not_import_higher_layers(self):
+        """repro.core must be usable without techniques/eval/osmodel."""
+        for name in list(sys.modules):
+            if name.startswith("repro"):
+                del sys.modules[name]
+        importlib.import_module("repro.core")
+        loaded = [name for name in sys.modules if name.startswith("repro")]
+        for forbidden in ("repro.techniques", "repro.eval",
+                          "repro.osmodel", "repro.sparse",
+                          "repro.workloads"):
+            assert not any(name.startswith(forbidden) for name in loaded), (
+                f"repro.core transitively imports {forbidden}")
+
+    def test_config_importable_standalone(self):
+        from repro.config import DEFAULT_CONFIG
+        assert DEFAULT_CONFIG.page_bytes == 4096

@@ -1,0 +1,101 @@
+"""Tests for technique 4: efficient checkpointing (Section 5.3.2)."""
+
+import pytest
+
+from repro.core.address import LINE_SIZE, PAGE_SIZE
+from repro.techniques.checkpoint import CheckpointManager
+
+BASE = 0x100 * PAGE_SIZE
+
+
+@pytest.fixture
+def manager(kernel, process):
+    return CheckpointManager(kernel, process)
+
+
+class TestEpochs:
+    def test_checkpoint_captures_only_deltas(self, kernel, process, manager):
+        manager.begin()
+        kernel.system.write(process.asid, BASE + 8, b"epoch0!!")
+        record = manager.take_checkpoint()
+        assert record.bytes_written == LINE_SIZE
+        assert record.dirty_pages == 1
+        assert record.page_granularity_bytes == PAGE_SIZE
+
+    def test_untouched_epoch_writes_nothing(self, kernel, process, manager):
+        manager.begin()
+        record = manager.take_checkpoint()
+        assert record.bytes_written == 0
+
+    def test_checkpoint_commits_to_physical_page(self, kernel, process,
+                                                 manager):
+        manager.begin()
+        kernel.system.write(process.asid, BASE, b"persisted")
+        manager.take_checkpoint()
+        assert kernel.system.overlay_line_count(process.asid, 0x100) == 0
+        data, _ = kernel.system.read(process.asid, BASE, 9)
+        assert data == b"persisted"
+
+    def test_take_without_begin_raises(self, manager):
+        with pytest.raises(RuntimeError):
+            manager.take_checkpoint()
+
+    def test_bandwidth_reduction_vs_page_granularity(self, kernel, process,
+                                                     manager):
+        manager.begin()
+        # Touch one line in each of three pages.
+        for page in range(3):
+            kernel.system.write(process.asid, BASE + page * PAGE_SIZE, b"u")
+        manager.take_checkpoint()
+        assert manager.total_bytes_written == 3 * LINE_SIZE
+        assert manager.total_page_granularity_bytes == 3 * PAGE_SIZE
+        assert manager.bandwidth_reduction > 0.9
+
+    def test_end_restores_permissions(self, kernel, process, manager):
+        manager.begin()
+        manager.end()
+        pte = kernel.system.page_tables[process.asid].entry(0x100)
+        assert pte.writable and not pte.cow
+
+
+class TestRecovery:
+    def test_restore_rebuilds_each_epoch(self, kernel, process, manager):
+        manager.begin()
+        original = kernel.system.page_bytes(process.asid, 0x100)
+
+        kernel.system.write(process.asid, BASE, b"EPOCH-ONE")
+        manager.take_checkpoint()
+        after_one = kernel.system.page_bytes(process.asid, 0x100)
+
+        kernel.system.write(process.asid, BASE + 2 * LINE_SIZE, b"EPOCH-TWO")
+        manager.take_checkpoint()
+        after_two = kernel.system.page_bytes(process.asid, 0x100)
+
+        assert manager.restore_view(0)[0x100] == original
+        assert manager.restore_view(1)[0x100] == after_one
+        assert manager.restore_view(2)[0x100] == after_two
+
+    def test_restore_view_bounds_checked(self, manager):
+        manager.begin()
+        with pytest.raises(IndexError):
+            manager.restore_view(5)
+
+    def test_same_line_rewritten_across_epochs(self, kernel, process,
+                                               manager):
+        manager.begin()
+        kernel.system.write(process.asid, BASE, b"AAAA")
+        manager.take_checkpoint()
+        kernel.system.write(process.asid, BASE, b"BBBB")
+        manager.take_checkpoint()
+        assert manager.restore_view(1)[0x100][:4] == b"AAAA"
+        assert manager.restore_view(2)[0x100][:4] == b"BBBB"
+
+    def test_multi_page_recovery(self, kernel, process, manager):
+        manager.begin()
+        for page in range(4):
+            kernel.system.write(process.asid, BASE + page * PAGE_SIZE,
+                                bytes([page + 65]) * 16)
+        manager.take_checkpoint()
+        view = manager.restore_view(1)
+        for page in range(4):
+            assert view[0x100 + page][:16] == bytes([page + 65]) * 16

@@ -1,0 +1,89 @@
+"""Tests for technique 6: fine-grained metadata management (Section 5.3.4)."""
+
+import pytest
+
+from repro.core.address import LINE_SIZE, PAGE_SIZE
+from repro.techniques.metadata import MetadataManager, WORD_BYTES
+
+BASE = 0x100 * PAGE_SIZE
+
+
+@pytest.fixture
+def manager(kernel, process):
+    return MetadataManager(kernel, process)
+
+
+class TestMetadataAccess:
+    def test_default_metadata_is_zero(self, manager):
+        assert manager.metadata_load(BASE) == 0
+
+    def test_store_then_load(self, manager):
+        manager.metadata_store(BASE + 16, 7)
+        assert manager.metadata_load(BASE + 16) == 7
+
+    def test_word_granularity(self, manager):
+        manager.metadata_store(BASE, 1)
+        assert manager.metadata_load(BASE) == 1
+        assert manager.metadata_load(BASE + WORD_BYTES) == 0
+
+    def test_metadata_does_not_disturb_data(self, kernel, process, manager):
+        kernel.system.write(process.asid, BASE, b"payload!")
+        manager.metadata_store(BASE, 255)
+        data, _ = kernel.system.read(process.asid, BASE, 8)
+        assert data == b"payload!"
+        assert manager.metadata_load(BASE) == 255
+
+    def test_data_writes_do_not_disturb_metadata(self, kernel, process,
+                                                 manager):
+        manager.metadata_store(BASE, 9)
+        kernel.system.write(process.asid, BASE, b"newdata!")
+        assert manager.metadata_load(BASE) == 9
+
+    def test_obitvector_stays_clear(self, kernel, process, manager):
+        """Metadata must not divert regular accesses to the overlay."""
+        manager.metadata_store(BASE, 1)
+        assert kernel.system.overlay_line_count(process.asid, 0x100) == 0
+
+    def test_tag_must_fit_a_byte(self, manager):
+        with pytest.raises(ValueError):
+            manager.metadata_store(BASE, 256)
+
+    def test_unmapped_address_rejected(self, manager):
+        with pytest.raises(KeyError):
+            manager.metadata_store(0x999 * PAGE_SIZE, 1)
+        with pytest.raises(KeyError):
+            manager.metadata_load(0x999 * PAGE_SIZE)
+
+    def test_metadata_across_lines_and_pages(self, manager):
+        spots = [BASE, BASE + LINE_SIZE, BASE + PAGE_SIZE,
+                 BASE + PAGE_SIZE + 3 * WORD_BYTES]
+        for i, vaddr in enumerate(spots, start=1):
+            manager.metadata_store(vaddr, i)
+        for i, vaddr in enumerate(spots, start=1):
+            assert manager.metadata_load(vaddr) == i
+
+
+class TestTaintTracking:
+    def test_taint_range_and_query(self, manager):
+        manager.taint_range(BASE + 20, 30, tag=5)
+        assert manager.is_tainted(BASE + 20, 30)
+        assert manager.is_tainted(BASE + 40, 1)
+        assert not manager.is_tainted(BASE + 200, 8)
+
+    def test_taint_covers_partial_words(self, manager):
+        manager.taint_range(BASE + 12, 1, tag=1)  # inside word 1
+        assert manager.is_tainted(BASE + 8, 8)
+
+    def test_shadow_memory_cost_is_per_line(self, manager):
+        """64B of shadow per shadowed data line, not a full page."""
+        manager.metadata_store(BASE, 1)
+        manager.metadata_store(BASE + 8, 2)   # same line
+        assert manager.shadow_bytes == LINE_SIZE
+        manager.metadata_store(BASE + LINE_SIZE, 3)  # second line
+        assert manager.shadow_bytes == 2 * LINE_SIZE
+
+    def test_stats(self, manager):
+        manager.metadata_store(BASE, 1)
+        manager.metadata_load(BASE)
+        assert manager.stats.metadata_stores == 1
+        assert manager.stats.metadata_loads == 1

@@ -1,0 +1,106 @@
+"""Tests for technique 1: overlay-on-write (Sections 2.2, 5.1)."""
+
+import pytest
+
+from repro.core.address import LINES_PER_PAGE, PAGE_SIZE
+from repro.osmodel.cow import CopyOnWritePolicy
+from repro.techniques.overlay_on_write import OverlayOnWritePolicy
+
+BASE = 0x100 * PAGE_SIZE
+
+
+class TestBasicBehaviour:
+    def test_write_goes_to_overlay(self, kernel, forked):
+        parent, child = forked
+        kernel.install_cow_policy(OverlayOnWritePolicy(kernel))
+        kernel.system.write(child.asid, BASE, b"OVERLAID")
+        assert kernel.system.overlay_line_count(child.asid, 0x100) == 1
+        data, _ = kernel.system.read(child.asid, BASE, 8)
+        assert data == b"OVERLAID"
+        parent_data, _ = kernel.system.read(parent.asid, BASE, 8)
+        assert parent_data == b"fx" * 4
+
+    def test_no_frame_consumed_on_write(self, kernel, forked):
+        parent, child = forked
+        kernel.install_cow_policy(OverlayOnWritePolicy(kernel))
+        before = kernel.allocator.frames_in_use
+        kernel.system.write(child.asid, BASE, b"x")
+        assert kernel.allocator.frames_in_use == before
+
+    def test_no_shootdown_issued(self, kernel, forked):
+        parent, child = forked
+        kernel.install_cow_policy(OverlayOnWritePolicy(kernel))
+        kernel.system.write(child.asid, BASE, b"x")
+        assert kernel.system.coherence.stats.shootdowns == 0
+
+    def test_writes_to_distinct_lines_accumulate(self, kernel, forked):
+        parent, child = forked
+        policy = OverlayOnWritePolicy(kernel)
+        kernel.install_cow_policy(policy)
+        for line in range(5):
+            kernel.system.write(child.asid, BASE + line * 64, b"v")
+        assert kernel.system.overlay_line_count(child.asid, 0x100) == 5
+        assert policy.stats.overlaying_writes == 5
+
+    def test_both_sharers_can_overlay_independently(self, kernel, forked):
+        parent, child = forked
+        kernel.install_cow_policy(OverlayOnWritePolicy(kernel))
+        kernel.system.write(child.asid, BASE, b"CC")
+        kernel.system.write(parent.asid, BASE, b"PP")
+        assert kernel.system.read(child.asid, BASE, 2)[0] == b"CC"
+        assert kernel.system.read(parent.asid, BASE, 2)[0] == b"PP"
+
+    def test_faster_than_copy_on_write(self, kernel, forked):
+        parent, child = forked
+        kernel.install_cow_policy(OverlayOnWritePolicy(kernel))
+        oow_latency = kernel.system.write(child.asid, BASE, b"x")
+
+        # A fresh fork for the copy baseline on the parent side.
+        kernel.install_cow_policy(CopyOnWritePolicy(kernel))
+        cow_latency = kernel.system.write(parent.asid, BASE + PAGE_SIZE,
+                                          b"x")
+        assert oow_latency < cow_latency
+
+
+class TestPromotionPolicy:
+    def test_threshold_triggers_copy_and_commit(self, kernel, forked):
+        parent, child = forked
+        policy = OverlayOnWritePolicy(kernel, promote_threshold=4)
+        kernel.install_cow_policy(policy)
+        for line in range(4):
+            kernel.system.write(child.asid, BASE + line * 64,
+                                bytes([line]) * 8)
+        assert policy.stats.promotions == 1
+        # The page is now private and dense; overlay gone.
+        assert kernel.system.overlay_line_count(child.asid, 0x100) == 0
+        pte = kernel.system.page_tables[child.asid].entry(0x100)
+        assert not pte.cow and pte.writable
+        # Data survived the promotion.
+        for line in range(4):
+            data, _ = kernel.system.read(child.asid, BASE + line * 64, 8)
+            assert data == bytes([line]) * 8
+
+    def test_promotion_consumes_one_frame(self, kernel, forked):
+        parent, child = forked
+        policy = OverlayOnWritePolicy(kernel, promote_threshold=2)
+        kernel.install_cow_policy(policy)
+        before = kernel.allocator.frames_in_use
+        kernel.system.write(child.asid, BASE, b"a")
+        kernel.system.write(child.asid, BASE + 64, b"b")
+        assert kernel.allocator.frames_in_use == before + 1
+
+    def test_writes_after_promotion_are_plain(self, kernel, forked):
+        parent, child = forked
+        policy = OverlayOnWritePolicy(kernel, promote_threshold=2)
+        kernel.install_cow_policy(policy)
+        kernel.system.write(child.asid, BASE, b"a")
+        kernel.system.write(child.asid, BASE + 64, b"b")
+        kernel.system.write(child.asid, BASE + 128, b"c")
+        assert policy.stats.overlaying_writes == 2  # third write was plain
+
+    def test_invalid_threshold_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            OverlayOnWritePolicy(kernel, promote_threshold=0)
+        with pytest.raises(ValueError):
+            OverlayOnWritePolicy(kernel,
+                                 promote_threshold=LINES_PER_PAGE + 1)

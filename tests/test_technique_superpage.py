@@ -1,0 +1,139 @@
+"""Tests for technique 7: flexible super-pages (Section 5.3.5)."""
+
+import pytest
+
+from repro.core.page_table import SUPERPAGE_SPAN
+from repro.techniques.superpage import PAGES_PER_SEGMENT, SuperpageManager
+
+
+@pytest.fixture
+def setup(kernel):
+    parent = kernel.create_process()
+    child = kernel.create_process()
+    manager = SuperpageManager(kernel)
+    base_ppn = manager.map_superpage(parent, 0)
+    return kernel, manager, parent, child, base_ppn
+
+
+class TestMapping:
+    def test_superpage_geometry(self):
+        assert SUPERPAGE_SPAN == 512
+        assert PAGES_PER_SEGMENT == 8  # 512 pages / 64 OBitVector bits
+
+    def test_map_superpage_contiguous_aligned(self, setup):
+        kernel, manager, parent, _, base_ppn = setup
+        assert base_ppn % SUPERPAGE_SPAN == 0
+        assert manager.resolve_page(parent, 100) == base_ppn + 100
+
+    def test_unaligned_base_rejected(self, kernel):
+        manager = SuperpageManager(kernel)
+        process = kernel.create_process()
+        with pytest.raises(ValueError):
+            manager.map_superpage(process, 5)
+
+
+class TestCowSharing:
+    def test_share_cow_marks_both_sides(self, setup):
+        kernel, manager, parent, child, base_ppn = setup
+        manager.share_cow(parent, child, 0)
+        for process in (parent, child):
+            pte = process.page_table.superpage_entry(0)
+            assert pte.cow and not pte.writable
+        assert kernel.allocator.refcount(base_ppn) == 2
+
+    def test_write_copies_only_one_segment(self, setup):
+        kernel, manager, parent, child, base_ppn = setup
+        manager.share_cow(parent, child, 0)
+        copied = manager.write_page(child, 12)   # segment 1
+        assert copied == PAGES_PER_SEGMENT
+        # The written page is private, a distant page still shared.
+        assert manager.resolve_page(child, 12) != base_ppn + 12
+        assert manager.resolve_page(child, 400) == base_ppn + 400
+        assert manager.resolve_page(parent, 12) == base_ppn + 12
+
+    def test_segment_copy_preserves_data(self, setup):
+        kernel, manager, parent, child, base_ppn = setup
+        kernel.system.main_memory.write_line(base_ppn + 12, 0, b"S" * 64)
+        manager.share_cow(parent, child, 0)
+        manager.write_page(child, 12)
+        private = manager.resolve_page(child, 12)
+        assert kernel.system.main_memory.read_line(private, 0) == b"S" * 64
+
+    def test_second_write_same_segment_is_free(self, setup):
+        kernel, manager, parent, child, _ = setup
+        manager.share_cow(parent, child, 0)
+        manager.write_page(child, 12)
+        assert manager.write_page(child, 13) == 0  # same 8-page segment
+        assert manager.write_page(child, 20) == PAGES_PER_SEGMENT
+
+    def test_sharers_diverge_independently(self, setup):
+        kernel, manager, parent, child, base_ppn = setup
+        manager.share_cow(parent, child, 0)
+        manager.write_page(child, 0)
+        manager.write_page(parent, 0)
+        assert (manager.resolve_page(child, 0)
+                != manager.resolve_page(parent, 0))
+
+    def test_framework_access_resolves_through_segment_overlay(self, setup):
+        """After a segment copy, ordinary framework reads/writes hit the
+        private frames — the PD-level overlay is transparent."""
+        kernel, manager, parent, child, base_ppn = setup
+        kernel.system.main_memory.write_line(base_ppn + 12, 0, b"B" * 64)
+        manager.share_cow(parent, child, 0)
+        manager.write_page(child, 12)
+        # The hardware page walk now resolves page 12 to the private
+        # frame for the child...
+        data, _ = kernel.system.read(child.asid, 12 * 4096, 4)
+        assert data == b"BBBB"
+        kernel.system.write(child.asid, 12 * 4096, b"CHLD")
+        # ...while the parent still reads the shared frame.
+        parent_data, _ = kernel.system.read(parent.asid, 12 * 4096, 4)
+        assert parent_data == b"BBBB"
+        child_data, _ = kernel.system.read(child.asid, 12 * 4096, 4)
+        assert child_data == b"CHLD"
+
+    def test_write_to_unshared_superpage_rejected(self, setup):
+        kernel, manager, parent, _, _ = setup
+        with pytest.raises(KeyError):
+            manager.write_page(parent, 3)
+
+
+class TestBaselines:
+    def test_overlay_copies_64x_less_than_full_copy(self, setup):
+        kernel, manager, parent, child, _ = setup
+        manager.share_cow(parent, child, 0)
+        overlay_pages = manager.write_page(child, 0)
+        other = kernel.create_process()
+        base2 = manager.map_superpage(other, SUPERPAGE_SPAN)
+        clone = kernel.create_process()
+        manager.share_cow(other, clone, SUPERPAGE_SPAN)
+        full_pages = manager.baseline_full_copy(clone, SUPERPAGE_SPAN)
+        assert full_pages == 64 * overlay_pages
+
+    def test_shatter_baseline_splits_page_table(self, setup):
+        kernel, manager, parent, child, base_ppn = setup
+        manager.share_cow(parent, child, 0)
+        manager.baseline_shatter(child, 0)
+        assert child.page_table.superpage_entry(0) is None
+        pte = child.page_table.entry(5)
+        assert pte is not None and pte.ppn == base_ppn + 5
+
+
+class TestProtectionDomains:
+    def test_per_segment_protection(self, setup):
+        kernel, manager, parent, child, _ = setup
+        manager.share_cow(parent, child, 0)
+        manager.set_segment_protection(child, 0, 2, "ro")
+        manager.set_segment_protection(child, 0, 3, "none")
+        in_seg2 = 2 * PAGES_PER_SEGMENT
+        in_seg3 = 3 * PAGES_PER_SEGMENT
+        assert manager.check_access(child, in_seg2, write=False)
+        assert not manager.check_access(child, in_seg2, write=True)
+        assert not manager.check_access(child, in_seg3, write=False)
+        assert manager.check_access(child, 0, write=True)  # default rw
+
+    def test_invalid_protection_rejected(self, setup):
+        kernel, manager, parent, child, _ = setup
+        manager.share_cow(parent, child, 0)
+        with pytest.raises(ValueError):
+            manager.set_segment_protection(child, 0, 0, "rwx")
