@@ -4,6 +4,9 @@ al., ISCA 2015).
 
 The package layers:
 
+* :mod:`repro.engine` — the simulation substrate (component tree,
+  hierarchical stats registry, shared clock, typed ports, and the
+  config-driven :class:`~repro.engine.SystemBuilder`).
 * :mod:`repro.core` — the page-overlay framework itself (address spaces,
   OBitVector, OMT, Overlay Memory Store, TLB/OMT coherence, the
   :class:`~repro.core.OverlaySystem` facade).
@@ -21,8 +24,11 @@ The package layers:
 """
 
 from .core import OverlaySystem, OBitVector, PAGE_SIZE, LINE_SIZE, LINES_PER_PAGE
+from .config import DEFAULT_CONFIG, SystemConfig
+from .engine import SystemBuilder
 
 __version__ = "1.0.0"
 
 __all__ = ["OverlaySystem", "OBitVector", "PAGE_SIZE", "LINE_SIZE",
-           "LINES_PER_PAGE", "__version__"]
+           "LINES_PER_PAGE", "SystemBuilder", "SystemConfig",
+           "DEFAULT_CONFIG", "__version__"]

@@ -26,6 +26,7 @@ from typing import List, Optional
 from .address import decompose_overlay_address, page_address
 from .omt import OMTEntry
 from .tlb import TLB
+from ..engine.component import Component
 
 #: Cycles for the *overlaying read exclusive* round trip: the store
 #: cannot commit until the single-line remap is globally visible, so the
@@ -48,7 +49,7 @@ class CoherenceStats:
 
 
 @dataclass
-class CoherenceNetwork:
+class CoherenceNetwork(Component):
     """Broadcast fabric connecting the per-core TLBs and the OMT.
 
     ``tlbs`` is every TLB in the system; the memory controller registers
@@ -64,6 +65,10 @@ class CoherenceNetwork:
     #: limits the MLP of bursts of overlaying writes — part of why
     #: clustered writers like cactus slightly favour the bulk page copy).
     _port_busy_until: int = 0
+
+    def __post_init__(self):
+        self.init_component("coherence")
+        self.stats_scope.own_block(self.stats)
 
     def attach(self, tlb: TLB) -> None:
         self.tlbs.append(tlb)

@@ -38,8 +38,8 @@ from .mmu import MemoryController, MMU, TranslationResult
 from .oms import OverlayMemoryStore, ZERO_LINE
 from .page_table import PTE, PageFault, PageTable
 from .tlb import TLB
-from ..mem.dram import DRAM
-from ..mem.hierarchy import MemoryHierarchy
+from ..engine.builder import SystemBuilder
+from ..engine.component import Component
 from ..mem.mainmemory import MainMemory
 
 #: Frame number where the default OMS page pool begins — far above any
@@ -81,8 +81,17 @@ def default_cow_handler(system: "OverlaySystem", asid: int, vaddr: int,
                                    translation=translation)
 
 
-class OverlaySystem:
-    """A complete simulated machine with page-overlay support."""
+class OverlaySystem(Component):
+    """A complete simulated machine with page-overlay support.
+
+    The system is the root of the engine's component tree: every hardware
+    structure below it (hierarchy, caches, DRAM, controller, OMS, TLBs,
+    coherence network) shares its :class:`~repro.engine.clock.SimClock`
+    and registers its statistics once, at construction, in the system's
+    :class:`~repro.engine.stats.StatsRegistry`.  Construction itself is
+    delegated to :class:`~repro.engine.builder.SystemBuilder`, so every
+    Table 2 default comes from one :class:`~repro.config.SystemConfig`.
+    """
 
     def __init__(self, num_cores: int = 1,
                  cow_handler: Optional[CowHandler] = None,
@@ -94,14 +103,16 @@ class OverlaySystem:
                  config=None):
         if num_cores < 1:
             raise ValueError("need at least one core")
+        super().__init__("system")
         if config is None:
             from ..config import DEFAULT_CONFIG
             config = DEFAULT_CONFIG
         self.config = config
+        self.builder = SystemBuilder(config)
         if omt_cache_entries is None:
             omt_cache_entries = config.omt_cache_entries
         self.main_memory = MainMemory()
-        self.dram = DRAM(write_buffer_capacity=config.write_buffer_entries)
+        self.dram = self.attach_child(self.builder.build_dram())
         self._oms_next_frame = DEFAULT_OMS_FRAME_BASE
         self.oms = OverlayMemoryStore(
             request_pages=oms_request_pages or self._default_oms_pages,
@@ -109,45 +120,44 @@ class OverlaySystem:
             page_per_overlay=oms_page_per_overlay)
         self.controller = MemoryController(
             self.main_memory, self.dram, self.oms,
-            omt_cache_entries=omt_cache_entries)
-        from ..mem.prefetcher import StreamPrefetcher
-        self.hierarchy = MemoryHierarchy(
+            omt_cache_entries=omt_cache_entries, parent=self)
+        self.hierarchy = self.builder.build_hierarchy(
             dram=self.dram,
             resolve_miss=self.controller.resolve_miss,
             handle_writeback=self.controller.handle_writeback,
             fetch_data=self.controller.fetch_data,
-            l1_kwargs=dict(size_bytes=config.l1_bytes, ways=config.l1_ways,
-                           tag_latency=config.l1_tag_latency,
-                           data_latency=config.l1_data_latency,
-                           policy=config.l1_policy),
-            l2_kwargs=dict(size_bytes=config.l2_bytes, ways=config.l2_ways,
-                           tag_latency=config.l2_tag_latency,
-                           data_latency=config.l2_data_latency,
-                           policy=config.l2_policy),
-            l3_kwargs=dict(size_bytes=config.l3_bytes, ways=config.l3_ways,
-                           tag_latency=config.l3_tag_latency,
-                           data_latency=config.l3_data_latency,
-                           policy=config.l3_policy),
-            prefetcher=StreamPrefetcher(
-                entries=config.prefetcher_entries,
-                degree=config.prefetcher_degree,
-                distance=config.prefetcher_distance))
+            parent=self)
         self.page_tables: Dict[int, PageTable] = {}
-        self.tlbs = [TLB(l1_entries=config.l1_tlb_entries,
-                         l1_ways=config.l1_tlb_ways,
-                         l2_entries=config.l2_tlb_entries,
-                         l1_latency=config.l1_tlb_latency,
-                         l2_latency=config.l2_tlb_latency,
-                         miss_latency=config.tlb_miss_latency)
-                     for _ in range(num_cores)]
-        self.coherence = CoherenceNetwork(tlbs=list(self.tlbs))
+        self.tlbs = [TLB(name=f"tlb{index}", parent=self,
+                         **self.builder.tlb_params())
+                     for index in range(num_cores)]
+        self.coherence = self.attach_child(
+            CoherenceNetwork(tlbs=list(self.tlbs)))
         self.mmus = [MMU(tlb, self.page_tables, self.controller)
                      for tlb in self.tlbs]
         self.cow_handler: CowHandler = cow_handler or default_cow_handler
         self.overlays_enabled = overlays_enabled
         self.stats = FrameworkStats()
-        self.clock = 0
+        self.stats_scope.register_block("framework", self.stats)
         self._serializing_event = False
+
+    # -- the machine's timeline -------------------------------------------------
+
+    @property
+    def clock(self) -> int:
+        """The current cycle, as an integer.
+
+        Reads and writes delegate to the shared
+        :class:`~repro.engine.clock.SimClock`.  Assignment goes through
+        :meth:`~repro.engine.clock.SimClock.seek` because the multi-core
+        scheduler legitimately repositions the system's notion of "now"
+        backwards when it switches focus to a core whose local time lags.
+        """
+        return self.sim_clock.now
+
+    @clock.setter
+    def clock(self, cycle: int) -> None:
+        self.sim_clock.seek(cycle)
 
     # -- trap semantics ---------------------------------------------------------
 
@@ -548,21 +558,20 @@ class OverlaySystem:
 
     def stats_snapshot(self) -> Dict[str, Dict[str, float]]:
         """Every counter in the machine, grouped by component — the
-        whole-system telemetry view used by experiment reports."""
-        from ..mem.stats import StatRegistry
-        registry = StatRegistry()
-        registry.register("framework", self.stats)
-        registry.register("dram", self.dram.stats)
-        registry.register("oms", self.oms.stats)
-        registry.register("omt_cache", self.controller.omt_cache.stats)
-        registry.register("controller", self.controller.stats)
-        registry.register("coherence", self.coherence.stats)
-        registry.register("prefetcher", self.hierarchy.prefetcher.stats)
-        for cache in self.hierarchy.caches():
-            registry.register(cache.name.lower(), cache.stats)
-        for index, tlb in enumerate(self.tlbs):
-            registry.register(f"tlb{index}", tlb.stats)
-        return registry.snapshot()
+        whole-system telemetry view used by experiment reports.
+
+        The counters live in the engine's hierarchical registry, wired
+        once at construction; this is its flattened (legacy-shaped) view.
+        """
+        return self.stats_scope.flat()
+
+    def stats_tree(self, indent: str = "  ") -> str:
+        """Human-readable dump of the whole stats tree (debug/reports)."""
+        return self.stats_scope.format_tree(indent)
+
+    def reset_stats(self) -> None:
+        """Zero every counter in the machine in one traversal."""
+        self.stats_scope.reset()
 
     def overlay_line_count(self, asid: int, vpn: int) -> int:
         entry = self.controller.omt.lookup(overlay_page_number(asid, vpn))

@@ -31,6 +31,7 @@ from .page_table import PageTable
 from .tlb import TLB, TLBEntry
 from ..mem.dram import DRAM
 from ..mem.mainmemory import MainMemory
+from ..engine.component import Component
 
 #: Cycles per table-walk memory access (an uncontended row-miss DRAM read).
 MEMORY_ACCESS_CYCLES = 120
@@ -44,7 +45,7 @@ class ControllerStats:
     zero_line_fills: int = 0
 
 
-class MemoryController:
+class MemoryController(Component):
     """Resolves full-hierarchy misses, managing the OMT and the OMS.
 
     Installed into :class:`~repro.mem.hierarchy.MemoryHierarchy` as its
@@ -54,13 +55,19 @@ class MemoryController:
     def __init__(self, main_memory: MainMemory, dram: DRAM,
                  oms: OverlayMemoryStore,
                  omt: Optional[OverlayMappingTable] = None,
-                 omt_cache_entries: int = 64):
+                 omt_cache_entries: int = 64,
+                 parent: Optional[Component] = None):
+        super().__init__("controller", parent=parent)
         self.main_memory = main_memory
         self.dram = dram
         self.oms = oms
         self.omt = omt or OverlayMappingTable()
         self.omt_cache = OMTCache(self.omt, capacity=omt_cache_entries)
         self.stats = ControllerStats()
+        self.stats_scope.own_block(self.stats)
+        self.stats_scope.register_block("omt_cache", self.omt_cache.stats)
+        if isinstance(oms, Component) and oms.parent is None:
+            self.attach_child(oms)
         self._now = 0
 
     # -- tag decomposition ---------------------------------------------------

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from .address import LINE_SIZE, LINES_PER_PAGE, PAGE_SIZE
+from ..engine.component import Component
 
 #: The five fixed segment sizes, smallest first (Section 4.4.2).
 SEGMENT_SIZES = (256, 512, 1024, 2048, 4096)
@@ -164,7 +165,7 @@ class OMSStats:
     memory_line_transfers: int = 0
 
 
-class OverlayMemoryStore:
+class OverlayMemoryStore(Component):
     """Memory-controller-managed store of compact overlays (Section 4.4).
 
     Parameters
@@ -197,6 +198,7 @@ class OverlayMemoryStore:
                  group_size: int = 8,
                  os_request_batch: int = 1,
                  page_per_overlay: bool = False):
+        super().__init__("oms")
         if group_size < 1:
             raise ValueError("group size must be at least 1")
         self._next_fallback_page = 0
@@ -207,6 +209,7 @@ class OverlayMemoryStore:
         self._free_lists: Dict[int, List[int]] = {size: [] for size in SEGMENT_SIZES}
         self._segments: Dict[int, Segment] = {}
         self.stats = OMSStats()
+        self.stats_scope.own_block(self.stats)
         if initial_pages:
             self._grant_pages(self._request_pages(initial_pages))
 

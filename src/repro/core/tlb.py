@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .obitvector import OBitVector
 from .page_table import PTE
+from ..engine.component import Component
 
 
 @dataclass
@@ -110,19 +111,22 @@ class _SetAssociativeArray:
             bucket.clear()
 
 
-class TLB:
+class TLB(Component):
     """A per-core, two-level TLB with overlay-aware entries."""
 
     def __init__(self, l1_entries: int = 64, l1_ways: int = 4,
                  l2_entries: int = 1024, l2_ways: int = 8,
                  l1_latency: int = 1, l2_latency: int = 10,
-                 miss_latency: int = 1000):
+                 miss_latency: int = 1000, name: str = "tlb",
+                 parent: Optional[Component] = None):
+        super().__init__(name, parent=parent)
         self._l1 = _SetAssociativeArray(l1_entries, l1_ways)
         self._l2 = _SetAssociativeArray(l2_entries, l2_ways)
         self.l1_latency = l1_latency
         self.l2_latency = l2_latency
         self.miss_latency = miss_latency
         self.stats = TLBStats()
+        self.stats_scope.own_block(self.stats)
 
     def lookup(self, asid: int, vpn: int) -> Tuple[Optional[TLBEntry], int]:
         """Probe both levels; return ``(entry, latency_cycles)``.

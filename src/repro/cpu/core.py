@@ -11,6 +11,16 @@ reproduces those first-order properties from a memory-access trace:
   ROB-head-blocking model of memory-level parallelism;
 * a bounded number of misses may be outstanding at once (MSHRs).
 
+The window model lives in exactly one place: :meth:`Core.step` advances
+one :class:`WindowState` by one memory access.  :meth:`Core.run` drives
+a single state to completion; the multi-core scheduler
+(:class:`~repro.cpu.multicore.MultiCoreScheduler`) interleaves several
+states in event order.  Per-core time is a
+:class:`~repro.engine.clock.ClockCursor` on the system's shared
+:class:`~repro.engine.clock.SimClock`, so "this core's clock" and "the
+system clock the DRAM sees" are views of one timeline rather than
+separately maintained integers.
+
 The absolute CPI will not match the authors' simulator, but the
 *relative* behaviour the evaluation depends on does: latency on the
 critical path (a CoW page copy) stalls the window, while off-critical
@@ -21,11 +31,13 @@ in time overlap while spread-out writes each pay their miss.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Deque, Iterator, Optional, Tuple
 
 from .trace import MemoryAccess, Trace
 from ..core.framework import OverlaySystem
+from ..engine.clock import ClockCursor
+from ..engine.stats import merge_blocks
 
 
 @dataclass
@@ -45,6 +57,42 @@ class CoreStats:
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    def merge(self, other: "CoreStats") -> "CoreStats":
+        """Accumulate *other*'s raw counters into this one (rates and
+        CPI are derived, so they stay consistent after merging)."""
+        merge_blocks(self, other)
+        return self
+
+
+@dataclass
+class WindowState:
+    """One core's in-flight execution state, advanced one access at a
+    time by :meth:`Core.step`."""
+
+    core: "Core"
+    accesses: Iterator[MemoryAccess]
+    cursor: ClockCursor
+    start: int
+    stats: CoreStats = field(default_factory=CoreStats)
+    instr_index: int = 0
+    #: In-flight memory operations: (instruction_index, completion_cycle).
+    inflight: Deque[Tuple[int, int]] = field(default_factory=deque)
+    pending: Optional[MemoryAccess] = None
+    done: bool = False
+
+    @property
+    def cycle(self) -> int:
+        """This core's current position on the shared timeline."""
+        return self.cursor.time
+
+    def fetch(self) -> Optional[MemoryAccess]:
+        if self.pending is None:
+            self.pending = next(self.accesses, None)
+        return self.pending
+
+    def consume(self) -> None:
+        self.pending = None
 
 
 class Core:
@@ -73,6 +121,91 @@ class Core:
         self.window = window
         self.mshrs = mshrs
 
+    # -- the window model, one access at a time ------------------------------
+
+    def begin_run(self, trace: Trace,
+                  start_cycle: Optional[int] = None) -> WindowState:
+        """Open a :class:`WindowState` for *trace* on the shared clock."""
+        start = self.system.clock if start_cycle is None else start_cycle
+        cursor = self.system.sim_clock.cursor(f"core{self.core_id}",
+                                              start=start)
+        state = WindowState(core=self, accesses=iter(trace), cursor=cursor,
+                            start=start)
+        if state.fetch() is None:
+            state.done = True
+        return state
+
+    def step(self, state: WindowState) -> bool:
+        """Issue exactly one memory access for *state*.
+
+        Returns False when the trace has drained.  This is the single
+        implementation of the window model; single- and multi-core
+        drivers differ only in how they interleave calls to it.
+        """
+        access = state.fetch()
+        if access is None:
+            state.done = True
+            return False
+        cursor = state.cursor
+        stats = state.stats
+        inflight = state.inflight
+
+        # Non-memory instructions issue one per cycle.
+        cursor.advance(access.gap)
+        state.instr_index += access.gap + 1
+
+        # Retire anything already complete.
+        while inflight and inflight[0][1] <= cursor.time:
+            inflight.popleft()
+
+        # Window blocking: the ROB head must retire before an
+        # instruction `window` younger can issue.
+        while inflight and inflight[0][0] <= state.instr_index - self.window:
+            stall_until = inflight.popleft()[1]
+            if stall_until > cursor.time:
+                stats.window_stall_cycles += stall_until - cursor.time
+                cursor.advance_to(stall_until)
+
+        # MSHR limit.
+        while len(inflight) >= self.mshrs:
+            stall_until = inflight.popleft()[1]
+            if stall_until > cursor.time:
+                stats.window_stall_cycles += stall_until - cursor.time
+                cursor.advance_to(stall_until)
+
+        self.system.sim_clock.focus(cursor)
+        latency = self._issue(access)
+        if self.system.consume_serializing_event():
+            # A trap (e.g. a software page-fault handler) flushes the
+            # pipeline: everything in flight drains, then the handler
+            # runs with nothing overlapping it.
+            for _, completion in inflight:
+                if completion > cursor.time:
+                    stats.window_stall_cycles += completion - cursor.time
+                    cursor.advance_to(completion)
+            inflight.clear()
+            stats.window_stall_cycles += latency
+            cursor.advance(latency)
+            stats.faults_served += 1
+        else:
+            inflight.append((state.instr_index, cursor.time + latency))
+        stats.memory_accesses += 1
+        state.consume()
+        return True
+
+    def finish_run(self, state: WindowState) -> int:
+        """Close out *state*: drain in-flight accesses into the final
+        cycle count and release its cursor.  Returns the drain cycle."""
+        drain = state.cursor.time
+        for _, completion in state.inflight:
+            drain = max(drain, completion)
+        state.stats.instructions = state.instr_index
+        state.stats.cycles = drain - state.start
+        self.system.sim_clock.release(state.cursor)
+        return drain
+
+    # -- the single-core driver ----------------------------------------------
+
     def run(self, trace: Trace, start_cycle: Optional[int] = None) -> CoreStats:
         """Execute *trace*; returns timing statistics.
 
@@ -82,63 +215,12 @@ class Core:
         coherently.  The system clock is left at the trace's completion
         time.
         """
-        stats = CoreStats()
-        start_cycle = self.system.clock if start_cycle is None else start_cycle
-        cycle = start_cycle
-        # In-flight memory operations: (instruction_index, completion_cycle).
-        inflight: Deque[Tuple[int, int]] = deque()
-        instr_index = 0
-
-        for access in trace:
-            # Non-memory instructions issue one per cycle.
-            cycle += access.gap
-            instr_index += access.gap + 1
-
-            # Retire anything already complete.
-            while inflight and inflight[0][1] <= cycle:
-                inflight.popleft()
-
-            # Window blocking: the ROB head must retire before an
-            # instruction `window` younger can issue.
-            while inflight and inflight[0][0] <= instr_index - self.window:
-                stall_until = inflight.popleft()[1]
-                if stall_until > cycle:
-                    stats.window_stall_cycles += stall_until - cycle
-                    cycle = stall_until
-
-            # MSHR limit.
-            while len(inflight) >= self.mshrs:
-                stall_until = inflight.popleft()[1]
-                if stall_until > cycle:
-                    stats.window_stall_cycles += stall_until - cycle
-                    cycle = stall_until
-
-            self.system.clock = cycle
-            latency = self._issue(access)
-            if self.system.consume_serializing_event():
-                # A trap (e.g. a software page-fault handler) flushes the
-                # pipeline: everything in flight drains, then the handler
-                # runs with nothing overlapping it.
-                for _, completion in inflight:
-                    if completion > cycle:
-                        stats.window_stall_cycles += completion - cycle
-                        cycle = completion
-                inflight.clear()
-                stats.window_stall_cycles += latency
-                cycle += latency
-                stats.faults_served += 1
-            else:
-                inflight.append((instr_index, cycle + latency))
-            stats.memory_accesses += 1
-
-        # Drain: the run ends when the last access completes.
-        finish = cycle
-        for _, completion in inflight:
-            finish = max(finish, completion)
-        stats.instructions = instr_index
-        stats.cycles = finish - start_cycle
+        state = self.begin_run(trace, start_cycle=start_cycle)
+        while self.step(state):
+            pass
+        finish = self.finish_run(state)
         self.system.clock = finish
-        return stats
+        return state.stats
 
     def _issue(self, access: MemoryAccess) -> int:
         if access.write:

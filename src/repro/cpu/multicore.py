@@ -3,44 +3,27 @@ the shared memory system.
 
 The paper's evaluation platform is an event-driven multi-core simulator;
 this module provides the multi-core half: each core runs its own trace
-with the same 64-entry-window timing model as :class:`~repro.cpu.Core`,
-and a global scheduler always advances the core with the earliest local
-clock.  Because every core issues into the *shared* hierarchy, DRAM
-banks and coherence network, cross-core effects emerge naturally:
-bank contention, shared-L3 interference, and TLB coherence traffic from
-overlaying writes on one core reaching the others.
+with the same 64-entry-window timing model as :class:`~repro.cpu.Core`
+(one shared implementation — :meth:`~repro.cpu.core.Core.step`), and the
+scheduler always advances the core whose
+:class:`~repro.engine.clock.ClockCursor` is earliest on the shared
+:class:`~repro.engine.clock.SimClock`.  Because every core issues into
+the *shared* hierarchy, DRAM banks and coherence network, cross-core
+effects emerge naturally: bank contention, shared-L3 interference, and
+TLB coherence traffic from overlaying writes on one core reaching the
+others.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Iterator, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from .core import Core, CoreStats
-from .trace import MemoryAccess, Trace
+from .core import Core, CoreStats, WindowState
+from .trace import Trace
 
-
-@dataclass
-class _RunState:
-    """One core's in-flight execution state."""
-
-    core: Core
-    accesses: Iterator[MemoryAccess]
-    stats: CoreStats = field(default_factory=CoreStats)
-    cycle: int = 0
-    instr_index: int = 0
-    inflight: Deque[Tuple[int, int]] = field(default_factory=deque)
-    pending: Optional[MemoryAccess] = None
-    done: bool = False
-
-    def fetch(self) -> Optional[MemoryAccess]:
-        if self.pending is None:
-            self.pending = next(self.accesses, None)
-        return self.pending
-
-    def consume(self) -> None:
-        self.pending = None
+#: Backwards-compatible alias — the per-core run state now lives beside
+#: the window model it belongs to.
+_RunState = WindowState
 
 
 class MultiCoreScheduler:
@@ -58,69 +41,18 @@ class MultiCoreScheduler:
         time.
         """
         base = self.system.clock if start_cycle is None else start_cycle
-        states = [_RunState(core=core, accesses=iter(trace), cycle=base)
+        states = [core.begin_run(trace, start_cycle=base)
                   for core, trace in jobs]
-        for state in states:
-            if state.fetch() is None:
-                state.done = True
 
         while True:
-            runnable = [s for s in states if not s.done]
+            runnable = [state for state in states if not state.done]
             if not runnable:
                 break
-            state = min(runnable, key=lambda s: s.cycle)
-            self._step(state)
+            state = min(runnable, key=lambda s: s.cursor.time)
+            state.core.step(state)
 
         finish = base
         for state in states:
-            drain = state.cycle
-            for _, completion in state.inflight:
-                drain = max(drain, completion)
-            state.stats.instructions = state.instr_index
-            state.stats.cycles = drain - base
-            finish = max(finish, drain)
+            finish = max(finish, state.core.finish_run(state))
         self.system.clock = finish
         return [state.stats for state in states]
-
-    def _step(self, state: _RunState) -> None:
-        """Issue exactly one memory access for *state* (the same window
-        model as :meth:`Core.run`, advanced one event at a time)."""
-        access = state.fetch()
-        if access is None:
-            state.done = True
-            return
-        core = state.core
-        state.cycle += access.gap
-        state.instr_index += access.gap + 1
-
-        while state.inflight and state.inflight[0][1] <= state.cycle:
-            state.inflight.popleft()
-        while (state.inflight
-               and state.inflight[0][0] <= state.instr_index - core.window):
-            stall_until = state.inflight.popleft()[1]
-            if stall_until > state.cycle:
-                state.stats.window_stall_cycles += stall_until - state.cycle
-                state.cycle = stall_until
-        while len(state.inflight) >= core.mshrs:
-            stall_until = state.inflight.popleft()[1]
-            if stall_until > state.cycle:
-                state.stats.window_stall_cycles += stall_until - state.cycle
-                state.cycle = stall_until
-
-        self.system.clock = state.cycle
-        latency = core._issue(access)
-        if self.system.consume_serializing_event():
-            for _, completion in state.inflight:
-                if completion > state.cycle:
-                    state.stats.window_stall_cycles += (completion
-                                                        - state.cycle)
-                    state.cycle = completion
-            state.inflight.clear()
-            state.stats.window_stall_cycles += latency
-            state.cycle += latency
-            state.stats.faults_served += 1
-        else:
-            state.inflight.append((state.instr_index,
-                                   state.cycle + latency))
-        state.stats.memory_accesses += 1
-        state.consume()

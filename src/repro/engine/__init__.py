@@ -1,0 +1,38 @@
+"""``repro.engine`` — the component kernel the simulator is built on.
+
+The engine owns the four cross-cutting concerns every hardware model in
+this repository needs and previously reimplemented by hand:
+
+* :class:`~repro.engine.component.Component` — a named node in the
+  machine's component tree, carrying a stats scope and the shared clock;
+* :class:`~repro.engine.clock.SimClock` — the single simulation
+  timeline, with per-component :class:`~repro.engine.clock.ClockCursor`
+  views for event-driven interleaving;
+* :class:`~repro.engine.stats.StatsRegistry` — a hierarchical registry
+  of named counters/gauges and adopted stat blocks, with ``snapshot()``,
+  ``reset()``, ``merge()`` and a tree-formatted dump;
+* :class:`~repro.engine.port.Port` — typed request/response channels
+  (with latency accounting) between components, replacing bare
+  callables;
+* :class:`~repro.engine.builder.SystemBuilder` — config-driven wiring:
+  the whole machine (hierarchy, TLBs, DRAM, cores) is derived from one
+  :class:`~repro.config.SystemConfig`, so Table 2 lives in exactly one
+  place.
+"""
+
+from .clock import ClockCursor, ClockError, SimClock
+from .component import Component
+from .port import (FetchPort, MissPort, MissResolution, Port, PortError,
+                   WritebackPort)
+from .stats import Counter, Gauge, StatsError, StatsRegistry, merge_blocks, snapshot_block
+from .builder import SystemBuilder
+
+__all__ = [
+    "ClockCursor", "ClockError", "SimClock",
+    "Component",
+    "FetchPort", "MissPort", "MissResolution", "Port", "PortError",
+    "WritebackPort",
+    "Counter", "Gauge", "StatsError", "StatsRegistry",
+    "merge_blocks", "snapshot_block",
+    "SystemBuilder",
+]

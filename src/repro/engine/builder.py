@@ -1,0 +1,120 @@
+"""Config-driven construction of the simulated machine.
+
+:class:`SystemBuilder` is the one place Table 2
+(:class:`~repro.config.SystemConfig`) is translated into component
+constructor parameters.  Everything — cache geometry, TLB levels, the
+prefetcher, DRAM, cores and the full :class:`OverlaySystem` — is built
+from a single config instance, so an ablation overrides a config field
+instead of threading keyword arguments through four constructors:
+
+    builder = SystemBuilder(SystemConfig(l3_bytes=1024 * 1024))
+    system = builder.build_system(num_cores=2)
+    core = builder.build_core(system, asid=1)
+
+The legacy constructors still accept explicit keyword arguments; the
+builder is how the defaults reach them.  To keep the engine import-light
+the heavyweight simulator modules are imported lazily inside the build
+methods.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import DEFAULT_CONFIG, SystemConfig
+
+
+class SystemBuilder:
+    """Builds every layer of the machine from one :class:`SystemConfig`."""
+
+    def __init__(self, config: Optional[SystemConfig] = None):
+        self.config = config or DEFAULT_CONFIG
+
+    # -- parameter derivation (Table 2 -> constructor kwargs) ----------------
+
+    def cache_params(self, level: str) -> dict:
+        """Constructor kwargs for one cache level (``l1``/``l2``/``l3``)."""
+        config = self.config
+        try:
+            size = getattr(config, f"{level}_bytes")
+            ways = getattr(config, f"{level}_ways")
+            tag = getattr(config, f"{level}_tag_latency")
+            data = getattr(config, f"{level}_data_latency")
+            policy = getattr(config, f"{level}_policy")
+        except AttributeError:
+            raise ValueError(f"unknown cache level {level!r}") from None
+        return dict(size_bytes=size, ways=ways,
+                    line_size=config.cache_line_bytes,
+                    tag_latency=tag, data_latency=data,
+                    serial_tag_data=(level == "l3"), policy=policy)
+
+    def tlb_params(self) -> dict:
+        config = self.config
+        return dict(l1_entries=config.l1_tlb_entries,
+                    l1_ways=config.l1_tlb_ways,
+                    l2_entries=config.l2_tlb_entries,
+                    l1_latency=config.l1_tlb_latency,
+                    l2_latency=config.l2_tlb_latency,
+                    miss_latency=config.tlb_miss_latency)
+
+    def prefetcher_params(self) -> dict:
+        config = self.config
+        return dict(entries=config.prefetcher_entries,
+                    degree=config.prefetcher_degree,
+                    distance=config.prefetcher_distance)
+
+    def dram_params(self) -> dict:
+        return dict(write_buffer_capacity=self.config.write_buffer_entries)
+
+    def core_params(self) -> dict:
+        return dict(window=self.config.instruction_window)
+
+    # -- component construction ----------------------------------------------
+
+    def build_dram(self):
+        from ..mem.dram import DRAM
+        return DRAM(**self.dram_params())
+
+    def build_prefetcher(self):
+        from ..mem.prefetcher import StreamPrefetcher
+        return StreamPrefetcher(**self.prefetcher_params())
+
+    def build_tlb(self):
+        from ..core.tlb import TLB
+        return TLB(**self.tlb_params())
+
+    def build_hierarchy(self, dram=None, resolve_miss=None,
+                        handle_writeback=None, fetch_data=None,
+                        l1_kwargs=None, l2_kwargs=None, l3_kwargs=None,
+                        prefetcher=None, parent=None):
+        """Build the three-level hierarchy; per-level kwargs override
+        the config-derived defaults field by field."""
+        from ..mem.hierarchy import MemoryHierarchy
+        return MemoryHierarchy(
+            dram=dram, resolve_miss=resolve_miss,
+            handle_writeback=handle_writeback, fetch_data=fetch_data,
+            l1_kwargs=l1_kwargs, l2_kwargs=l2_kwargs, l3_kwargs=l3_kwargs,
+            prefetcher=prefetcher or self.build_prefetcher(),
+            config=self.config, parent=parent)
+
+    def build_system(self, num_cores: int = 1, **kwargs):
+        """Build a fully wired :class:`~repro.core.framework.OverlaySystem`."""
+        from ..core.framework import OverlaySystem
+        return OverlaySystem(num_cores=num_cores, config=self.config,
+                             **kwargs)
+
+    def build_kernel(self, num_cores: int = 1, **kwargs):
+        """Build an OS kernel over a machine built from this config."""
+        from ..osmodel.kernel import Kernel
+        return Kernel(num_cores=num_cores, config=self.config, **kwargs)
+
+    def build_core(self, system, asid: int, core_id: int = 0, **kwargs):
+        """Build a trace-driven core with the config's window size."""
+        from ..cpu.core import Core
+        params = self.core_params()
+        params.update(kwargs)
+        return Core(system, asid, core_id=core_id, **params)
+
+    def build_scheduler(self, system):
+        from ..cpu.multicore import MultiCoreScheduler
+        return MultiCoreScheduler(system)

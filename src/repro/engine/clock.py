@@ -1,0 +1,156 @@
+"""The simulation clock — one timeline shared by every component.
+
+The machine previously kept several clocks: ``OverlaySystem.clock`` (a
+bare integer), a local ``cycle`` variable inside
+:meth:`repro.cpu.core.Core.run`, and a per-core ``cycle`` field in the
+multi-core scheduler's run states.  :class:`SimClock` unifies them:
+
+* the clock's ``now`` is the single current simulation time that DRAM
+  bank state, write-buffer drains and coherence-port queueing observe;
+* each event-driven component (a core, a background engine) holds a
+  :class:`ClockCursor` — its own strictly monotonic position on the
+  timeline.  An event scheduler repeatedly *focuses* the clock on the
+  cursor with the earliest next event (:meth:`SimClock.focus`), which
+  may move ``now`` backwards across components while each component's
+  own history stays monotonic; ``peak`` records the furthest point any
+  component has reached.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class ClockError(RuntimeError):
+    """Raised when a component tries to move its clock backwards."""
+
+
+class ClockCursor:
+    """One component's strictly monotonic position on a shared timeline."""
+
+    __slots__ = ("name", "_clock", "_time")
+
+    def __init__(self, clock: "SimClock", name: str, start: int = 0):
+        self.name = name
+        self._clock = clock
+        self._time = start
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    def advance(self, cycles: int) -> int:
+        """Move forward by *cycles* (>= 0); returns the new time."""
+        if cycles < 0:
+            raise ClockError(f"cursor {self.name!r} cannot advance by {cycles}")
+        self._time += cycles
+        self._clock._observe(self._time)
+        return self._time
+
+    def advance_to(self, cycle: int) -> int:
+        """Move forward to *cycle*; moving backwards raises."""
+        if cycle < self._time:
+            raise ClockError(
+                f"cursor {self.name!r} at {self._time} cannot rewind to {cycle}")
+        self._time = cycle
+        self._clock._observe(self._time)
+        return self._time
+
+    def catch_up_to(self, cycle: int) -> int:
+        """Advance to *cycle* if it is ahead; no-op (no error) otherwise."""
+        if cycle > self._time:
+            self.advance_to(cycle)
+        return self._time
+
+    def __repr__(self) -> str:
+        return f"ClockCursor({self.name}@{self._time})"
+
+
+class SimClock:
+    """The shared simulation timeline.
+
+    ``advance``/``advance_to`` move the global time monotonically — the
+    single-threaded case.  Event-driven schedulers instead keep one
+    :class:`ClockCursor` per component and :meth:`focus` the clock on
+    whichever cursor acts next; ``peak`` never decreases.
+    """
+
+    def __init__(self, start: int = 0):
+        self._now = start
+        self._peak = start
+        self._cursors: List[ClockCursor] = []
+
+    # -- global time --------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    @property
+    def peak(self) -> int:
+        """The furthest cycle any component has reached."""
+        return self._peak
+
+    def advance(self, cycles: int) -> int:
+        """Move the global time forward by *cycles* (>= 0)."""
+        if cycles < 0:
+            raise ClockError(f"clock cannot advance by {cycles}")
+        return self.advance_to(self._now + cycles)
+
+    def advance_to(self, cycle: int) -> int:
+        """Move the global time forward to *cycle*; backwards raises."""
+        if cycle < self._now:
+            raise ClockError(f"clock at {self._now} cannot rewind to {cycle}")
+        self._now = cycle
+        self._observe(cycle)
+        return self._now
+
+    def _observe(self, cycle: int) -> None:
+        if cycle > self._peak:
+            self._peak = cycle
+
+    # -- event-driven views --------------------------------------------------
+
+    def cursor(self, name: str, start: int = None) -> ClockCursor:
+        """Create a component cursor starting at *start* (default: now)."""
+        cursor = ClockCursor(self, name,
+                             self._now if start is None else start)
+        self._cursors.append(cursor)
+        self._observe(cursor.time)
+        return cursor
+
+    def focus(self, cursor: ClockCursor) -> int:
+        """Reposition the global time at *cursor* (event-driven switch).
+
+        Switching focus to an earlier component is the one sanctioned
+        way ``now`` moves backwards: the scheduler is replaying the
+        timeline in event order, and each component's own cursor is
+        still monotonic.
+        """
+        return self.seek(cursor.time)
+
+    def seek(self, cycle: int) -> int:
+        """Reposition the global time at *cycle* (see :meth:`focus`)."""
+        if cycle < 0:
+            raise ClockError(f"cannot seek to negative cycle {cycle}")
+        self._now = cycle
+        self._observe(cycle)
+        return self._now
+
+    def release(self, cursor: ClockCursor) -> None:
+        """Forget *cursor* (its run finished); unknown cursors are a
+        no-op so release is safe to call twice."""
+        try:
+            self._cursors.remove(cursor)
+        except ValueError:
+            pass
+
+    def earliest(self, cursors=None) -> ClockCursor:
+        """The cursor with the smallest current time (scheduling order)."""
+        pool = list(cursors) if cursors is not None else self._cursors
+        if not pool:
+            raise ClockError("no cursors to schedule")
+        return min(pool, key=lambda cursor: cursor.time)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now}, peak={self._peak})"

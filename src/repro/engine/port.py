@@ -1,0 +1,135 @@
+"""Typed request/response ports between components.
+
+The cache hierarchy used to reach the memory controller through three
+bare ``Callable`` hooks (miss resolution, data fetch, dirty writeback).
+A :class:`Port` makes the channel explicit: it has a name, a typed
+request method, an installed handler (the serving component), and
+latency accounting — every request and every cycle of response latency
+is counted, so the telemetry view shows the traffic crossing each
+component boundary.
+
+Three concrete port types cover the hierarchy <-> memory-controller
+boundary; :class:`Port` itself is generic enough for new channels (the
+controller's Overlay-Memory-Store ports reuse it directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from .stats import StatsRegistry
+
+
+class PortError(RuntimeError):
+    """Raised when a port is used before a handler is connected."""
+
+
+@dataclass(frozen=True)
+class MissResolution:
+    """Response of a miss-resolution request: where the line lives.
+
+    ``address`` is the DRAM byte address backing the line, or ``None``
+    when the line has no backing yet (e.g. a never-written overlay line,
+    which reads as zero).  ``latency`` is the cycles the lookup itself
+    cost (OMT walks on the overlay path).
+    """
+
+    address: Optional[int]
+    latency: int = 0
+
+    def __iter__(self):
+        # Unpacks like the legacy ``(address, latency)`` tuple.
+        yield self.address
+        yield self.latency
+
+
+class Port:
+    """A named request/response channel served by one handler.
+
+    Parameters
+    ----------
+    name:
+        Channel name (used for stats registration).
+    handler:
+        The callable serving requests; may be installed later with
+        :meth:`connect`.
+    scope:
+        Optional stats scope to count this port's traffic under; the
+        port registers ``<name>_requests`` and ``<name>_latency``.
+    """
+
+    def __init__(self, name: str, handler: Optional[Callable] = None,
+                 scope: Optional[StatsRegistry] = None):
+        self.name = name
+        self._handler = handler
+        if scope is not None:
+            self._requests = scope.counter(f"{name}_requests")
+            self._latency = scope.counter(f"{name}_latency")
+        else:
+            registry = StatsRegistry(name)
+            self._requests = registry.counter(f"{name}_requests")
+            self._latency = registry.counter(f"{name}_latency")
+
+    def connect(self, handler: Callable) -> "Port":
+        """Install (or replace) the component serving this port."""
+        self._handler = handler
+        return self
+
+    @property
+    def connected(self) -> bool:
+        return self._handler is not None
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def latency_cycles(self) -> int:
+        return self._latency.value
+
+    def _serve(self, *args):
+        if self._handler is None:
+            raise PortError(f"port {self.name!r} has no handler connected")
+        self._requests.increment()
+        return self._handler(*args)
+
+    def request(self, *args):
+        """Generic request: forwards to the handler, counts the call."""
+        return self._serve(*args)
+
+    def __repr__(self) -> str:
+        state = "connected" if self.connected else "disconnected"
+        return f"{type(self).__name__}({self.name!r}, {state})"
+
+
+class MissPort(Port):
+    """Hierarchy -> controller: resolve a missing line tag to DRAM."""
+
+    def resolve(self, tag: int) -> MissResolution:
+        response = self._serve(tag)
+        if not isinstance(response, MissResolution):
+            address, latency = response
+            response = MissResolution(address=address, latency=latency)
+        self._latency.increment(response.latency)
+        return response
+
+
+class FetchPort(Port):
+    """Hierarchy -> controller: backing bytes for a line on a full miss."""
+
+    def fetch(self, tag: int) -> Optional[bytes]:
+        return self._serve(tag)
+
+
+class WritebackPort(Port):
+    """Hierarchy -> controller: a dirty line evicted from the last level.
+
+    The handler consumes the payload (frame or Overlay Memory Store) and
+    returns the background-traffic latency it charged.
+    """
+
+    def writeback(self, tag: int, data: Optional[bytes]) -> int:
+        latency = self._serve(tag, data)
+        self._latency.increment(latency)
+        return latency

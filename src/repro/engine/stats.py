@@ -1,0 +1,279 @@
+"""Hierarchical statistics registry for the simulated machine.
+
+Every component registers its statistics exactly once, under its own
+scope in the machine's registry tree.  Two kinds of entries coexist:
+
+* **scalars** — :class:`Counter` and :class:`Gauge` objects created
+  through :meth:`StatsRegistry.counter` / :meth:`StatsRegistry.gauge`;
+* **blocks** — plain dataclass instances whose numeric fields are the
+  counters (:class:`~repro.mem.stats.CacheStats` and friends predate the
+  engine and are adopted wholesale via
+  :meth:`StatsRegistry.register_block`).
+
+The registry offers whole-machine ``snapshot()``, ``reset()`` and
+``merge()`` (for aggregating repeated experiment runs) plus
+``format_tree()``, an indented human-readable dump of the component
+tree.  Names are unique within a scope; re-registering raises
+:class:`StatsError` — stats are wired once, at construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+
+class StatsError(ValueError):
+    """Raised on duplicate registration or merging mismatched registries."""
+
+
+def snapshot_block(block: object) -> Dict[str, Number]:
+    """Numeric fields of a stats block (the legacy snapshot convention)."""
+    return {key: value for key, value in vars(block).items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)}
+
+
+def merge_blocks(target: object, source: object) -> None:
+    """Sum *source*'s numeric fields into *target* (same block type)."""
+    for key, value in snapshot_block(source).items():
+        setattr(target, key, getattr(target, key, 0) + value)
+
+
+class Counter:
+    """A monotonically growing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def increment(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A named level that moves both ways (e.g. queue occupancy)."""
+
+    __slots__ = ("name", "value", "_initial")
+
+    def __init__(self, name: str, value: Number = 0):
+        self.name = name
+        self.value = value
+        self._initial = value
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def adjust(self, delta: Number) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = self._initial
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class StatsRegistry:
+    """One scope of the machine's statistics tree.
+
+    A scope holds scalars (counters/gauges), adopted blocks, and child
+    scopes — one per sub-component.  The root scope therefore mirrors
+    the component tree: ``system -> hierarchy -> l1`` and so on.
+    """
+
+    def __init__(self, name: str = "root"):
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._blocks: Dict[str, object] = {}
+        self._children: Dict[str, "StatsRegistry"] = {}
+        self._own_block: Optional[object] = None
+
+    # -- registration (once, at construction) ------------------------------
+
+    def _check_free(self, name: str) -> None:
+        if (name in self._counters or name in self._gauges
+                or name in self._blocks or name in self._children):
+            raise StatsError(f"{self.name!r} already registers {name!r}")
+
+    def counter(self, name: str) -> Counter:
+        """Create and register a named counter; duplicate names raise."""
+        self._check_free(name)
+        counter = Counter(name)
+        self._counters[name] = counter
+        return counter
+
+    def gauge(self, name: str, value: Number = 0) -> Gauge:
+        """Create and register a named gauge; duplicate names raise."""
+        self._check_free(name)
+        gauge = Gauge(name, value)
+        self._gauges[name] = gauge
+        return gauge
+
+    def register_block(self, name: str, block: object) -> object:
+        """Adopt a stats dataclass under *name*; duplicate names raise."""
+        self._check_free(name)
+        self._blocks[name] = block
+        return block
+
+    def own_block(self, block: object) -> object:
+        """Adopt a stats dataclass as this scope's *own* counters.
+
+        Its fields appear directly in the scope (snapshot inlines them;
+        the flat view emits them under the scope's name).  A scope owns
+        at most one block.
+        """
+        if self._own_block is not None:
+            raise StatsError(f"{self.name!r} already owns a stats block")
+        self._own_block = block
+        return block
+
+    def child(self, name: str) -> "StatsRegistry":
+        """Create a child scope; duplicate names raise."""
+        self._check_free(name)
+        node = StatsRegistry(name)
+        self._children[name] = node
+        return node
+
+    def adopt(self, node: "StatsRegistry") -> "StatsRegistry":
+        """Attach an existing registry as a child scope."""
+        self._check_free(node.name)
+        self._children[node.name] = node
+        return node
+
+    # -- traversal ----------------------------------------------------------
+
+    def children(self) -> List["StatsRegistry"]:
+        return list(self._children.values())
+
+    def walk(self, prefix: str = "") -> Iterator[Tuple[str, "StatsRegistry"]]:
+        """Yield ``(dotted_path, scope)`` for this scope and descendants."""
+        path = f"{prefix}.{self.name}" if prefix else self.name
+        yield path, self
+        for node in self._children.values():
+            yield from node.walk(path)
+
+    # -- whole-tree operations ---------------------------------------------
+
+    def scalars(self) -> Dict[str, Number]:
+        """This scope's own values: counters, gauges, and the fields of
+        the own block (no named blocks, no children)."""
+        out: Dict[str, Number] = {}
+        if self._own_block is not None:
+            out.update(snapshot_block(self._own_block))
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        """A nested dict of every value under this scope."""
+        out: Dict[str, object] = dict(self.scalars())
+        for name, block in self._blocks.items():
+            out[name] = snapshot_block(block)
+        for name, node in self._children.items():
+            out[name] = node.snapshot()
+        return out
+
+    def flat(self) -> Dict[str, Dict[str, Number]]:
+        """Legacy whole-system shape: ``{scope_name: {field: value}}``.
+
+        Every scope that holds any scalars contributes one entry under
+        its (leaf) name; every adopted block contributes one entry under
+        the block's registered name.  This is the shape
+        :meth:`repro.core.framework.OverlaySystem.stats_snapshot` has
+        always returned.
+        """
+        out: Dict[str, Dict[str, Number]] = {}
+        for _, node in self.walk():
+            scalars = node.scalars()
+            if scalars:
+                out.setdefault(node.name, {}).update(scalars)
+            for name, block in node._blocks.items():
+                out.setdefault(name, {}).update(snapshot_block(block))
+        return out
+
+    @staticmethod
+    def _reset_block(block: object) -> None:
+        for key, value in vars(block).items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            setattr(block, key, 0 if isinstance(value, int) else 0.0)
+
+    def reset(self) -> None:
+        """Zero every scalar and block field in this scope and below."""
+        for counter in self._counters.values():
+            counter.reset()
+        for gauge in self._gauges.values():
+            gauge.reset()
+        if self._own_block is not None:
+            self._reset_block(self._own_block)
+        for block in self._blocks.values():
+            self._reset_block(block)
+        for node in self._children.values():
+            node.reset()
+
+    def merge(self, other: "StatsRegistry") -> None:
+        """Sum *other*'s values into this registry, scope by scope.
+
+        Used to aggregate the registries of repeated experiment runs
+        (e.g. per-seed machines in a sweep).  The trees must have the
+        same shape where they overlap; scopes present only in *other*
+        raise, so aggregation bugs surface instead of dropping data.
+        """
+        for name, counter in other._counters.items():
+            if name not in self._counters:
+                raise StatsError(f"{self.name!r} has no counter {name!r}")
+            self._counters[name].value += counter.value
+        for name, gauge in other._gauges.items():
+            if name not in self._gauges:
+                raise StatsError(f"{self.name!r} has no gauge {name!r}")
+            self._gauges[name].value += gauge.value
+        if other._own_block is not None:
+            if self._own_block is None:
+                raise StatsError(f"{self.name!r} owns no stats block")
+            merge_blocks(self._own_block, other._own_block)
+        for name, block in other._blocks.items():
+            if name not in self._blocks:
+                raise StatsError(f"{self.name!r} has no block {name!r}")
+            merge_blocks(self._blocks[name], block)
+        for name, node in other._children.items():
+            if name not in self._children:
+                raise StatsError(f"{self.name!r} has no child scope {name!r}")
+            self._children[name].merge(node)
+
+    def format_tree(self, indent: str = "  ") -> str:
+        """An indented, human-readable dump of the whole tree."""
+        lines: List[str] = []
+        self._format_into(lines, 0, indent)
+        return "\n".join(lines)
+
+    def _format_into(self, lines: List[str], depth: int, indent: str) -> None:
+        pad = indent * depth
+        lines.append(f"{pad}{self.name}")
+        for name, value in sorted(self.scalars().items()):
+            lines.append(f"{pad}{indent}{name} = {value}")
+        for name, block in sorted(self._blocks.items()):
+            lines.append(f"{pad}{indent}[{name}]")
+            for key, value in sorted(snapshot_block(block).items()):
+                lines.append(f"{pad}{indent * 2}{key} = {value}")
+        for node in self._children.values():
+            node._format_into(lines, depth + 1, indent)
+
+    def __repr__(self) -> str:
+        return (f"StatsRegistry({self.name!r}, "
+                f"{len(self._counters) + len(self._gauges)} scalars, "
+                f"{len(self._blocks)} blocks, "
+                f"{len(self._children)} children)")

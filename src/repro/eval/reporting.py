@@ -1,12 +1,28 @@
 """Plain-text reporting helpers: ASCII bar charts and series plots for
 the figure harnesses (everything prints to a terminal; no plotting
-dependencies)."""
+dependencies), plus stats aggregation built on the engine registry."""
 
 from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
 BAR_WIDTH = 40
+
+
+def aggregate_core_stats(runs: Sequence) -> "object":
+    """Merge per-core/per-run :class:`~repro.cpu.core.CoreStats` into one
+    combined block (raw counters sum; CPI/IPC stay derived)."""
+    from ..cpu.core import CoreStats
+    total = CoreStats()
+    for stats in runs:
+        total.merge(stats)
+    return total
+
+
+def stats_report(system, indent: str = "  ") -> str:
+    """The whole machine's statistics as an indented component tree
+    (one traversal of the system's engine registry)."""
+    return system.stats_scope.format_tree(indent)
 
 
 def bar_chart(rows: Sequence[Tuple[str, float]], title: str = "",

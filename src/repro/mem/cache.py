@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .replacement import make_policy
 from .stats import CacheStats
+from ..engine.component import Component
 
 
 @dataclass
@@ -41,7 +42,7 @@ class EvictedLine:
     data: Optional[bytes]
 
 
-class SetAssociativeCache:
+class SetAssociativeCache(Component):
     """A single cache level.
 
     Parameters mirror Table 2: size, associativity, tag/data latencies and
@@ -52,7 +53,8 @@ class SetAssociativeCache:
     def __init__(self, name: str, size_bytes: int, ways: int,
                  line_size: int = 64, tag_latency: int = 1,
                  data_latency: int = 2, serial_tag_data: bool = False,
-                 policy: str = "lru"):
+                 policy: str = "lru", parent: Component = None):
+        super().__init__(name.lower(), parent=parent)
         if size_bytes % (ways * line_size):
             raise ValueError("cache size must divide evenly into sets")
         self.name = name
@@ -67,6 +69,7 @@ class SetAssociativeCache:
             [None] * ways for _ in range(self.num_sets)]
         self._where: Dict[int, Tuple[int, int]] = {}
         self.stats = CacheStats(name=name)
+        self.stats_scope.own_block(self.stats)
 
     # -- latency helpers -----------------------------------------------------
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from .stats import DRAMStats
+from ..engine.component import Component
 
 #: CPU cycles per DRAM command-clock cycle (2.67 GHz / 533 MHz).
 CPU_CYCLES_PER_TCK = 5
@@ -48,13 +49,17 @@ class _Bank:
 
 
 @dataclass
-class DRAM:
+class DRAM(Component):
     """One channel of DDR3-1066 with open-row policy and a write buffer."""
 
     write_buffer_capacity: int = 64
     stats: DRAMStats = field(default_factory=DRAMStats)
     _banks: List[_Bank] = field(default_factory=lambda: [_Bank() for _ in range(NUM_BANKS)])
     _write_buffer: Dict[int, int] = field(default_factory=dict)  # line addr -> bank
+
+    def __post_init__(self):
+        self.init_component("dram")
+        self.stats_scope.own_block(self.stats)
 
     # -- address mapping ----------------------------------------------------
 

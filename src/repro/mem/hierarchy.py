@@ -6,12 +6,20 @@
 * Stream prefetcher monitoring L2 misses, prefetching into L3.
 * Inclusion is not enforced at any level (Section 5).
 
+Every Table 2 default above is *derived from*
+:class:`~repro.config.SystemConfig` through
+:class:`~repro.engine.builder.SystemBuilder` — this module holds no
+numeric configuration of its own.  Per-level ``l?_kwargs`` still
+override individual fields (ablations, small test hierarchies).
+
 The hierarchy works on line *tags*.  Regular physical tags resolve to a
 DRAM byte address as ``tag * 64``; overlay tags carry the overlay marker
 bit and are resolved by the memory controller through the OMT — the
-overlay framework installs the resolver and writeback handler hooks for
-that (Section 4.3.1: the Overlay Memory Store is accessed only when an
-access misses the entire hierarchy).
+controller serves the hierarchy's three typed ports
+(:attr:`MemoryHierarchy.miss_port`, :attr:`~MemoryHierarchy.fetch_port`,
+:attr:`~MemoryHierarchy.writeback_port`) for that (Section 4.3.1: the
+Overlay Memory Store is accessed only when an access misses the entire
+hierarchy).
 """
 
 from __future__ import annotations
@@ -22,8 +30,11 @@ from typing import Callable, List, Optional, Tuple
 from .cache import EvictedLine, SetAssociativeCache
 from .dram import DRAM
 from .prefetcher import StreamPrefetcher
+from ..engine.component import Component
+from ..engine.port import FetchPort, MissPort, MissResolution, WritebackPort
 
 #: Hook resolving a line tag to ``(dram_byte_address, extra_latency)``.
+#: (Legacy alias — handlers now connect to :attr:`MemoryHierarchy.miss_port`.)
 MissResolver = Callable[[int], Tuple[Optional[int], int]]
 #: Hook returning the backing bytes for a line tag on a full miss.
 DataFetcher = Callable[[int], Optional[bytes]]
@@ -44,8 +55,8 @@ class AccessResult:
         return self.level != "MEM"
 
 
-class MemoryHierarchy:
-    """L1/L2/L3 + prefetcher + DRAM, with overlay-aware miss hooks."""
+class MemoryHierarchy(Component):
+    """L1/L2/L3 + prefetcher + DRAM, with overlay-aware miss ports."""
 
     def __init__(self, dram: Optional[DRAM] = None,
                  resolve_miss: Optional[MissResolver] = None,
@@ -54,35 +65,47 @@ class MemoryHierarchy:
                  l1_kwargs: Optional[dict] = None,
                  l2_kwargs: Optional[dict] = None,
                  l3_kwargs: Optional[dict] = None,
-                 prefetcher: Optional[StreamPrefetcher] = None):
-        l1_params = dict(size_bytes=64 * 1024, ways=4, tag_latency=1,
-                         data_latency=2, serial_tag_data=False, policy="lru")
-        l1_params.update(l1_kwargs or {})
-        l2_params = dict(size_bytes=512 * 1024, ways=8, tag_latency=2,
-                         data_latency=8, serial_tag_data=False, policy="lru")
-        l2_params.update(l2_kwargs or {})
-        l3_params = dict(size_bytes=2 * 1024 * 1024, ways=16, tag_latency=10,
-                         data_latency=24, serial_tag_data=True,
-                         policy="drrip")
-        l3_params.update(l3_kwargs or {})
-        self.l1 = SetAssociativeCache("L1", **l1_params)
-        self.l2 = SetAssociativeCache("L2", **l2_params)
-        self.l3 = SetAssociativeCache("L3", **l3_params)
-        self.dram = dram or DRAM()
-        self.prefetcher = prefetcher or StreamPrefetcher()
-        self._resolve_miss = resolve_miss or self._default_resolve
-        self._handle_writeback = handle_writeback or self._default_writeback
-        self._fetch_data = fetch_data or (lambda tag: None)
+                 prefetcher: Optional[StreamPrefetcher] = None,
+                 config=None,
+                 parent: Optional[Component] = None):
+        super().__init__("hierarchy", parent=parent)
+        from ..engine.builder import SystemBuilder
+        builder = SystemBuilder(config)
+        levels = {}
+        for level, overrides in (("l1", l1_kwargs), ("l2", l2_kwargs),
+                                 ("l3", l3_kwargs)):
+            params = builder.cache_params(level)
+            params.update(overrides or {})
+            levels[level] = SetAssociativeCache(level.upper(), parent=self,
+                                                **params)
+        self.l1 = levels["l1"]
+        self.l2 = levels["l2"]
+        self.l3 = levels["l3"]
+        self.dram = dram if dram is not None else builder.build_dram()
+        self.prefetcher = prefetcher or builder.build_prefetcher()
+        self.stats_scope.register_block("prefetcher", self.prefetcher.stats)
+        #: Typed channels to the memory controller (or whatever backs the
+        #: hierarchy); unconnected ports fall back to a flat physical
+        #: address space over ``self.dram``.
+        self.miss_port = MissPort("resolve_miss",
+                                  resolve_miss or self._default_resolve,
+                                  scope=self.stats_scope)
+        self.fetch_port = FetchPort("fetch_data",
+                                    fetch_data or (lambda tag: None),
+                                    scope=self.stats_scope)
+        self.writeback_port = WritebackPort(
+            "writeback", handle_writeback or self._default_writeback,
+            scope=self.stats_scope)
         self._now = 0
 
-    # -- default hooks: plain physical address space ---------------------------
+    # -- default handlers: plain physical address space ------------------------
 
     @staticmethod
-    def _default_resolve(tag: int) -> Tuple[Optional[int], int]:
-        return tag * 64, 0
+    def _default_resolve(tag: int) -> MissResolution:
+        return MissResolution(address=tag * 64, latency=0)
 
     def _default_writeback(self, tag: int, data: Optional[bytes]) -> int:
-        address, extra = self._resolve_miss(tag)
+        address, extra = self.miss_port.resolve(tag)
         if address is None:
             return extra
         return extra + self.dram.write(address, self._now)
@@ -101,7 +124,7 @@ class MemoryHierarchy:
             victim = self.l3.fill(evicted.tag, data=evicted.data, dirty=True)
             self._spill(self.l3, victim)
         else:
-            self._handle_writeback(evicted.tag, evicted.data)
+            self.writeback_port.writeback(evicted.tag, evicted.data)
 
     def _fill_upward(self, tag: int, data: Optional[bytes],
                      dirty: bool = False) -> None:
@@ -132,8 +155,13 @@ class MemoryHierarchy:
         latency += cycles
         if hit:
             line = self.l2.lookup(tag)
+            # Dirty ownership moves *up* with the data: leaving the L2
+            # copy dirty would create a stale dirty duplicate that a
+            # later flush or eviction writes back over fresher data.
+            promoted_dirty = write or line.dirty
+            line.dirty = False
             self._spill(self.l1, self.l1.fill(
-                tag, data=line.data, dirty=write or line.dirty))
+                tag, data=line.data, dirty=promoted_dirty))
             if data is not None and write:
                 self.l1.access(tag, write=True, data=data)
             return AccessResult(latency=latency, level="L2")
@@ -146,19 +174,21 @@ class MemoryHierarchy:
         latency += cycles
         if hit:
             line = self.l3.lookup(tag)
+            promoted_dirty = write or line.dirty
+            line.dirty = False
             self._spill(self.l2, self.l2.fill(tag, data=line.data, dirty=False))
             self._spill(self.l1, self.l1.fill(
-                tag, data=line.data, dirty=write or line.dirty))
+                tag, data=line.data, dirty=promoted_dirty))
             if data is not None and write:
                 self.l1.access(tag, write=True, data=data)
             return AccessResult(latency=latency, level="L3")
 
         # Full-hierarchy miss: resolve (possibly via the OMT) and go to DRAM.
-        address, extra = self._resolve_miss(tag)
+        address, extra = self.miss_port.resolve(tag)
         latency += extra
         if address is not None:
             latency += self.dram.read(address, self._now + latency)
-        fill_data = self._fetch_data(tag)
+        fill_data = self.fetch_port.fetch(tag)
         self._fill_upward(tag, data=fill_data, dirty=write)
         if data is not None and write:
             self.l1.access(tag, write=True, data=data)
@@ -170,10 +200,10 @@ class MemoryHierarchy:
             return
         if self.l3.lookup(tag) is not None:
             return
-        address, _extra = self._resolve_miss(tag)
+        address, _extra = self.miss_port.resolve(tag)
         if address is not None:
             self.dram.read(address, self._now)
-        self._spill(self.l3, self.l3.fill(tag, data=self._fetch_data(tag),
+        self._spill(self.l3, self.l3.fill(tag, data=self.fetch_port.fetch(tag),
                                           prefetch=True))
 
     # -- maintenance operations ----------------------------------------------------
@@ -190,14 +220,14 @@ class MemoryHierarchy:
         for level in (self.l1, self.l2, self.l3):
             evicted = level.invalidate(tag)
             if evicted is not None and evicted.dirty and writeback:
-                self._handle_writeback(evicted.tag, evicted.data)
+                self.writeback_port.writeback(evicted.tag, evicted.data)
 
     def flush_dirty(self) -> int:
         """Write back every dirty line (checkpoint barrier); returns count."""
         flushed = 0
         for level in (self.l1, self.l2, self.l3):
             for line in level.dirty_lines():
-                self._handle_writeback(line.tag, line.data)
+                self.writeback_port.writeback(line.tag, line.data)
                 line.dirty = False
                 flushed += 1
         return flushed

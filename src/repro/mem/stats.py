@@ -59,7 +59,13 @@ class DRAMStats:
 
 @dataclass
 class StatRegistry:
-    """A bag of named statistics blocks, for whole-system reporting."""
+    """A bag of named statistics blocks, for whole-system reporting.
+
+    Legacy adapter: snapshotting, resetting and merging now delegate to
+    the engine (:mod:`repro.engine.stats`), which is also where the
+    live system keeps its hierarchical registry
+    (:attr:`repro.core.framework.OverlaySystem.stats_scope`).
+    """
 
     blocks: Dict[str, object] = field(default_factory=dict)
 
@@ -67,11 +73,15 @@ class StatRegistry:
         self.blocks[name] = block
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
-        out: Dict[str, Dict[str, float]] = {}
-        for name, block in self.blocks.items():
-            fields = {}
-            for key, value in vars(block).items():
-                if isinstance(value, (int, float)):
-                    fields[key] = value
-            out[name] = fields
-        return out
+        from ..engine.stats import snapshot_block
+        return {name: snapshot_block(block)
+                for name, block in self.blocks.items()}
+
+    def merge(self, other: "StatRegistry") -> None:
+        """Sum *other*'s blocks into this registry's same-named blocks."""
+        from ..engine.stats import merge_blocks
+        for name, block in other.blocks.items():
+            if name in self.blocks:
+                merge_blocks(self.blocks[name], block)
+            else:
+                self.blocks[name] = block

@@ -16,6 +16,8 @@ from repro.eval.spmv_experiment import (crossover_locality, format_figure10,
                                         run_figure10)
 from repro.sparse.matrix_gen import locality_sweep
 
+pytestmark = pytest.mark.slow
+
 
 class TestConfig:
     def test_table2_values(self):

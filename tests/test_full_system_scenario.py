@@ -19,6 +19,8 @@ from repro.techniques.dedup import DeduplicationManager
 from repro.techniques.overlay_on_write import OverlayOnWritePolicy
 from repro.techniques.speculation import SpeculationContext
 
+pytestmark = pytest.mark.slow
+
 BASE_VPN = 0x100
 BASE = BASE_VPN * PAGE_SIZE
 PAGES = 24

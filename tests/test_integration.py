@@ -13,6 +13,8 @@ from repro.techniques.dedup import DeduplicationManager
 from repro.techniques.overlay_on_write import OverlayOnWritePolicy
 from repro.techniques.speculation import SpeculationContext
 
+pytestmark = pytest.mark.slow
+
 BASE = 0x100 * PAGE_SIZE
 
 

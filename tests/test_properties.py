@@ -15,6 +15,8 @@ from repro.osmodel.kernel import Kernel
 from repro.techniques.overlay_on_write import OverlayOnWritePolicy
 from repro.techniques.speculation import SpeculationContext
 
+pytestmark = pytest.mark.slow
+
 PAGES = 4
 BASE_VPN = 0x100
 BASE = BASE_VPN * PAGE_SIZE

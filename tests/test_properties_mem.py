@@ -8,6 +8,8 @@ from repro.mem.dram import DRAM
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.mainmemory import MainMemory
 
+pytestmark = pytest.mark.slow
+
 slow = settings(max_examples=30, deadline=None,
                 suppress_health_check=[HealthCheck.too_slow])
 

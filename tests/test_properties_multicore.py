@@ -13,6 +13,8 @@ from repro.core.address import PAGE_SIZE
 from repro.osmodel.kernel import Kernel
 from repro.techniques.overlay_on_write import OverlayOnWritePolicy
 
+pytestmark = pytest.mark.slow
+
 PAGES = 2
 BASE_VPN = 0x100
 BASE = BASE_VPN * PAGE_SIZE
