@@ -1,0 +1,85 @@
+"""Source discovery: files on disk -> parsed, package-resolved modules.
+
+The linter works on whatever paths it is given (``src``, ``benchmarks``,
+a single file, a test fixture tree).  Each ``.py`` file becomes a
+:class:`SourceModule` carrying its AST, its dotted module name (resolved
+by walking up through ``__init__.py`` packages, so ``src/repro/mem/
+cache.py`` -> ``repro.mem.cache``) and its per-line pragma table.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+from .findings import parse_pragmas
+
+SKIP_DIRS = {"__pycache__", ".git", ".hg", ".tox", ".venv", "node_modules"}
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python file."""
+
+    path: Path                     # as given (absolute or repo-relative)
+    display_path: str              # forward-slash path used in findings
+    module: str                    # dotted name ("" when not in a package)
+    tree: ast.Module
+    disabled: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """The package this module's relative imports resolve against."""
+        if not self.module:
+            return ""
+        if self.path.name == "__init__.py":
+            return self.module
+        return self.module.rpartition(".")[0]
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, by walking up through ``__init__.py`` dirs."""
+    packages: List[str] = []
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        packages.insert(0, parent.name)
+        parent = parent.parent
+    if path.name == "__init__.py":
+        return ".".join(packages)
+    return ".".join(packages + [path.stem])
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                if not any(part in SKIP_DIRS for part in file.parts):
+                    yield file
+
+
+def collect_modules(paths: Iterable[Path],
+                    root: Optional[Path] = None) -> List[SourceModule]:
+    """Parse every ``.py`` under *paths*; syntax errors raise."""
+    root = root or Path.cwd()
+    modules: List[SourceModule] = []
+    seen: Set[Path] = set()
+    for file in iter_python_files(paths):
+        resolved = file.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        source = file.read_text()
+        tree = ast.parse(source, filename=str(file))
+        try:
+            display = resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            display = file.as_posix()
+        modules.append(SourceModule(
+            path=file, display_path=display,
+            module=module_name_for(resolved),
+            tree=tree, disabled=parse_pragmas(source.splitlines())))
+    return modules

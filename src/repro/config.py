@@ -65,6 +65,15 @@ class SystemConfig:
     bus_bytes: int = 8
     burst_length: int = 8
     row_buffer_bytes: int = 8192
+    # Derived / coherence timing (Sections 3-4; not printed in Table 2
+    # but owned here so no other module holds a timing literal).
+    cpu_cycles_per_tck: int = 5          # 2.67 GHz CPU / 533 MHz DDR3-1066
+    table_walk_access_cycles: int = 120  # uncontended row-miss DRAM read
+    overlay_read_exclusive_latency: int = 100   # single-line remap broadcast
+    tlb_shootdown_latency: int = 3000    # IPI-based shootdown [40, 54]
+    # Reproducibility: the base seed every synthetic-input generator
+    # derives its random.Random from (Section 5 runs are deterministic).
+    rng_seed: int = 0
 
     def as_rows(self) -> List[Tuple[str, str]]:
         """Rows in the layout of Table 2."""

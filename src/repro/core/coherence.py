@@ -26,18 +26,19 @@ from typing import List, Optional
 from .address import decompose_overlay_address, page_address
 from .omt import OMTEntry
 from .tlb import TLB
+from ..config import DEFAULT_CONFIG
 from ..engine.component import Component
 
 #: Cycles for the *overlaying read exclusive* round trip: the store
 #: cannot commit until the single-line remap is globally visible, so the
 #: broadcast plus the farthest acknowledgement land on the critical path.
 #: A cache-to-cache-transfer-class latency — still 40x cheaper than the
-#: IPI-based shootdown it replaces.
-OVERLAYING_READ_EXCLUSIVE_LATENCY = 100
+#: IPI-based shootdown it replaces.  Owned by Table 2's SystemConfig.
+OVERLAYING_READ_EXCLUSIVE_LATENCY = DEFAULT_CONFIG.overlay_read_exclusive_latency
 
 #: Cycles for an IPI-based TLB shootdown; prior work measures several
-#: thousand cycles per shootdown [40, 54].
-TLB_SHOOTDOWN_LATENCY = 3000
+#: thousand cycles per shootdown [40, 54].  Owned by SystemConfig.
+TLB_SHOOTDOWN_LATENCY = DEFAULT_CONFIG.tlb_shootdown_latency
 
 
 @dataclass

@@ -29,12 +29,14 @@ from .omt import OMTCache, OMTEntry, OverlayMappingTable
 from .oms import OverlayMemoryStore, ZERO_LINE
 from .page_table import PageTable
 from .tlb import TLB, TLBEntry
+from ..config import DEFAULT_CONFIG
 from ..mem.dram import DRAM
 from ..mem.mainmemory import MainMemory
 from ..engine.component import Component
 
-#: Cycles per table-walk memory access (an uncontended row-miss DRAM read).
-MEMORY_ACCESS_CYCLES = 120
+#: Cycles per table-walk memory access (an uncontended row-miss DRAM
+#: read).  Owned by Table 2's SystemConfig.
+MEMORY_ACCESS_CYCLES = DEFAULT_CONFIG.table_walk_access_cycles
 
 
 @dataclass

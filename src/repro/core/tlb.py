@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .obitvector import OBitVector
 from .page_table import PTE
+from ..config import DEFAULT_CONFIG
 from ..engine.component import Component
 
 
@@ -116,8 +117,10 @@ class TLB(Component):
 
     def __init__(self, l1_entries: int = 64, l1_ways: int = 4,
                  l2_entries: int = 1024, l2_ways: int = 8,
-                 l1_latency: int = 1, l2_latency: int = 10,
-                 miss_latency: int = 1000, name: str = "tlb",
+                 l1_latency: int = DEFAULT_CONFIG.l1_tlb_latency,
+                 l2_latency: int = DEFAULT_CONFIG.l2_tlb_latency,
+                 miss_latency: int = DEFAULT_CONFIG.tlb_miss_latency,
+                 name: str = "tlb",
                  parent: Optional[Component] = None):
         super().__init__(name, parent=parent)
         self._l1 = _SetAssociativeArray(l1_entries, l1_ways)

@@ -14,6 +14,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional
 
+from ..engine.rng import derive_rng
+
 
 @dataclass(frozen=True)
 class MemoryAccess:
@@ -66,10 +68,16 @@ class Trace:
     @classmethod
     def random_in_region(cls, base: int, span: int, count: int,
                          write_fraction: float = 0.3, gap: int = 3,
-                         size: int = 8, seed: int = 0,
-                         align: int = 8) -> "Trace":
-        """Uniform random accesses across ``[base, base+span)``."""
-        rng = random.Random(seed)
+                         size: int = 8, seed: Optional[int] = None,
+                         align: int = 8,
+                         rng: Optional[random.Random] = None) -> "Trace":
+        """Uniform random accesses across ``[base, base+span)``.
+
+        Randomness is deterministic: an injected *rng* wins, else a
+        fresh ``random.Random`` seeded from *seed* (default:
+        ``SystemConfig.rng_seed``).
+        """
+        rng = derive_rng(rng, seed)
         accesses = []
         slots = max(1, (span - size) // align)
         for _ in range(count):
@@ -82,16 +90,18 @@ class Trace:
     @classmethod
     def zipf_pages(cls, base: int, pages: int, count: int,
                    skew: float = 1.2, write_fraction: float = 0.3,
-                   gap: int = 3, size: int = 8, seed: int = 0) -> "Trace":
+                   gap: int = 3, size: int = 8, seed: Optional[int] = None,
+                   rng: Optional[random.Random] = None) -> "Trace":
         """Page-level Zipf-distributed accesses (hot/cold working sets).
 
         Real applications concentrate accesses on a few hot pages with a
         long cold tail; ``skew`` controls the concentration (larger =
-        hotter head).  Offsets within a page are uniform.
+        hotter head).  Offsets within a page are uniform.  Randomness is
+        deterministic, as in :meth:`random_in_region`.
         """
         if pages < 1:
             raise ValueError("need at least one page")
-        rng = random.Random(seed)
+        rng = derive_rng(rng, seed)
         weights = [1.0 / (rank ** skew) for rank in range(1, pages + 1)]
         page_order = list(range(pages))
         rng.shuffle(page_order)  # hot pages land anywhere in the region

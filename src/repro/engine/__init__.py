@@ -17,7 +17,10 @@ this repository needs and previously reimplemented by hand:
 * :class:`~repro.engine.builder.SystemBuilder` — config-driven wiring:
   the whole machine (hierarchy, TLBs, DRAM, cores) is derived from one
   :class:`~repro.config.SystemConfig`, so Table 2 lives in exactly one
-  place.
+  place;
+* :func:`~repro.engine.rng.derive_rng` — seeded-RNG derivation, so
+  every synthetic-input generator draws from an explicit
+  ``random.Random`` rooted at ``SystemConfig.rng_seed`` (simlint SL001).
 """
 
 from .clock import ClockCursor, ClockError, SimClock
@@ -26,6 +29,7 @@ from .port import (FetchPort, MissPort, MissResolution, Port, PortError,
                    WritebackPort)
 from .stats import Counter, Gauge, StatsError, StatsRegistry, merge_blocks, snapshot_block
 from .builder import SystemBuilder
+from .rng import derive_rng, resolve_seed
 
 __all__ = [
     "ClockCursor", "ClockError", "SimClock",
@@ -35,4 +39,5 @@ __all__ = [
     "Counter", "Gauge", "StatsError", "StatsRegistry",
     "merge_blocks", "snapshot_block",
     "SystemBuilder",
+    "derive_rng", "resolve_seed",
 ]

@@ -13,8 +13,9 @@ simulates one SpMV iteration of the overlay and dense representations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
+from ..engine.rng import resolve_seed
 from ..sparse.matrix_gen import generate_with_locality
 from ..sparse.pattern import MatrixPattern, VALUES_PER_LINE
 from ..sparse.spmv import run_spmv
@@ -49,8 +50,14 @@ def _matrix_with_zero_fraction(rows: int, cols: int, zero_fraction: float,
 
 def run_sparsity_sweep(rows: int = 128, cols: int = 128,
                        fractions: List[float] = None,
-                       seed: int = 5) -> List[SparsityPoint]:
-    """Sweep the zero-line fraction from dense (0.0) to very sparse."""
+                       seed: Optional[int] = None) -> List[SparsityPoint]:
+    """Sweep the zero-line fraction from dense (0.0) to very sparse.
+
+    Point *i* uses a matrix seeded ``seed + i`` (default base:
+    ``SystemConfig.rng_seed + 5``, the sweep's historical stream), so
+    repeated sweeps are byte-identical.
+    """
+    seed = resolve_seed(seed, stream=5)
     if fractions is None:
         fractions = [0.0, 0.25, 0.5, 0.75, 0.9, 0.97]
     points = []

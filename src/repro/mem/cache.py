@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .replacement import make_policy
 from .stats import CacheStats
+from ..config import DEFAULT_CONFIG
 from ..engine.component import Component
 
 
@@ -51,8 +52,10 @@ class SetAssociativeCache(Component):
     """
 
     def __init__(self, name: str, size_bytes: int, ways: int,
-                 line_size: int = 64, tag_latency: int = 1,
-                 data_latency: int = 2, serial_tag_data: bool = False,
+                 line_size: int = DEFAULT_CONFIG.cache_line_bytes,
+                 tag_latency: int = DEFAULT_CONFIG.l1_tag_latency,
+                 data_latency: int = DEFAULT_CONFIG.l1_data_latency,
+                 serial_tag_data: bool = False,
                  policy: str = "lru", parent: Component = None):
         super().__init__(name.lower(), parent=parent)
         if size_bytes % (ways * line_size):

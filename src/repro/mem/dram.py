@@ -22,10 +22,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from .stats import DRAMStats
+from ..config import DEFAULT_CONFIG
 from ..engine.component import Component
 
 #: CPU cycles per DRAM command-clock cycle (2.67 GHz / 533 MHz).
-CPU_CYCLES_PER_TCK = 5
+#: Owned by Table 2's SystemConfig.
+CPU_CYCLES_PER_TCK = DEFAULT_CONFIG.cpu_cycles_per_tck
 
 #: Column-access strobe latency (7 tCK).
 T_CAS = 7 * CPU_CYCLES_PER_TCK

@@ -16,6 +16,7 @@ import random
 from typing import List, Optional
 
 from .pattern import MatrixPattern, VALUES_PER_LINE
+from ..engine.rng import derive_rng, resolve_seed
 
 
 def default_run_length(locality: float) -> int:
@@ -34,21 +35,27 @@ def default_run_length(locality: float) -> int:
 
 
 def generate_with_locality(rows: int, cols: int, nnz: int, locality: float,
-                           seed: int = 0, name: Optional[str] = None,
-                           run_length: Optional[int] = None) -> MatrixPattern:
+                           seed: Optional[int] = None,
+                           name: Optional[str] = None,
+                           run_length: Optional[int] = None,
+                           rng: Optional[random.Random] = None
+                           ) -> MatrixPattern:
     """Generate a matrix whose non-zero value locality is ≈ *locality*.
 
     Non-zero cache lines are placed in contiguous runs of
     ``run_length`` lines (see :func:`default_run_length`) at random
     positions of the dense layout; within each chosen line, ``locality``
     values (on average) are populated.  ``locality`` must lie in [1, 8]
-    for 64B lines of doubles.
+    for 64B lines of doubles.  Randomness comes from the injected *rng*,
+    else a ``random.Random`` seeded from *seed* (default:
+    ``SystemConfig.rng_seed``).
     """
     if not 1.0 <= locality <= VALUES_PER_LINE:
         raise ValueError(f"locality must be in [1, {VALUES_PER_LINE}]")
     if nnz < 1:
         raise ValueError("need at least one non-zero")
-    rng = random.Random(seed)
+    seed = resolve_seed(seed)
+    rng = derive_rng(rng, seed)
     total_lines = (rows * cols) // VALUES_PER_LINE
     target_lines = max(1, round(nnz / locality))
     # The chosen lines must be able to hold every non-zero.
@@ -91,9 +98,10 @@ def generate_with_locality(rows: int, cols: int, nnz: int, locality: float,
 
 
 def banded(rows: int, cols: int, bandwidth: int, density: float = 1.0,
-           seed: int = 0) -> MatrixPattern:
+           seed: Optional[int] = None,
+           rng: Optional[random.Random] = None) -> MatrixPattern:
     """A banded matrix (high L — non-zeros hug the diagonal)."""
-    rng = random.Random(seed)
+    rng = derive_rng(rng, seed)
     pattern = MatrixPattern(rows=rows, cols=cols,
                             name=f"banded-bw{bandwidth}")
     for row in range(rows):
@@ -105,9 +113,11 @@ def banded(rows: int, cols: int, bandwidth: int, density: float = 1.0,
     return pattern
 
 
-def block_diagonal(rows: int, cols: int, block: int, seed: int = 0) -> MatrixPattern:
+def block_diagonal(rows: int, cols: int, block: int,
+                   seed: Optional[int] = None,
+                   rng: Optional[random.Random] = None) -> MatrixPattern:
     """Dense blocks along the diagonal (FEM-style structure, high L)."""
-    rng = random.Random(seed)
+    rng = derive_rng(rng, seed)
     pattern = MatrixPattern(rows=rows, cols=cols, name=f"blockdiag-{block}")
     for start in range(0, min(rows, cols), block):
         for row in range(start, min(start + block, rows)):
@@ -116,9 +126,11 @@ def block_diagonal(rows: int, cols: int, block: int, seed: int = 0) -> MatrixPat
     return pattern
 
 
-def random_uniform(rows: int, cols: int, density: float, seed: int = 0) -> MatrixPattern:
+def random_uniform(rows: int, cols: int, density: float,
+                   seed: Optional[int] = None,
+                   rng: Optional[random.Random] = None) -> MatrixPattern:
     """Uniformly random non-zeros (low L at low density)."""
-    rng = random.Random(seed)
+    rng = derive_rng(rng, seed)
     pattern = MatrixPattern(rows=rows, cols=cols,
                             name=f"random-d{density:.3f}")
     target = max(1, round(rows * cols * density))
@@ -133,12 +145,16 @@ def random_uniform(rows: int, cols: int, density: float, seed: int = 0) -> Matri
 
 
 def locality_sweep(count: int, rows: int = 256, cols: int = 256,
-                   nnz: int = 4000, seed: int = 7) -> List[MatrixPattern]:
+                   nnz: int = 4000,
+                   seed: Optional[int] = None) -> List[MatrixPattern]:
     """A suite of *count* matrices sweeping L from ~1 to 8.
 
     Stands in for the paper's 87 UF matrices: Figure 10 sorts its x-axis
-    by L, so a controlled sweep reproduces the same curve.
+    by L, so a controlled sweep reproduces the same curve.  Matrix *i*
+    is seeded ``seed + i`` (default base: ``SystemConfig.rng_seed + 7``,
+    the suite's historical stream).
     """
+    seed = resolve_seed(seed, stream=7)
     matrices = []
     for i in range(count):
         locality = 1.0 + (VALUES_PER_LINE - 1.0) * i / max(1, count - 1)
@@ -149,8 +165,13 @@ def locality_sweep(count: int, rows: int = 256, cols: int = 256,
 
 
 def realworld_like_suite(rows: int = 256, cols: int = 256,
-                         seed: int = 11) -> List[MatrixPattern]:
-    """A small structurally diverse suite (banded/block/random mixes)."""
+                         seed: Optional[int] = None) -> List[MatrixPattern]:
+    """A small structurally diverse suite (banded/block/random mixes).
+
+    Entry *k* is seeded ``seed + k`` (default base:
+    ``SystemConfig.rng_seed + 11``, the suite's historical stream).
+    """
+    seed = resolve_seed(seed, stream=11)
     nnz = max(16, rows * cols // 20)
     return [
         banded(rows, cols, bandwidth=3, seed=seed),

@@ -28,10 +28,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.address import LINE_SIZE, LINES_PER_PAGE, PAGE_SIZE
 from ..cpu.trace import MemoryAccess, Trace
+from ..engine.rng import derive_rng
 
 
 @dataclass(frozen=True)
@@ -82,22 +83,33 @@ TYPE_ORDER = ["bwaves", "hmmer", "libq", "sphinx3", "tonto",
 
 
 def warmup_trace(profile: BenchmarkProfile, base_vpn: int,
-                 accesses: int = 4000, seed: int = 1) -> Trace:
-    """Pre-fork phase: read-mostly traffic warming caches and TLBs."""
+                 accesses: int = 4000, seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None) -> Trace:
+    """Pre-fork phase: read-mostly traffic warming caches and TLBs.
+
+    Randomness is deterministic: an injected *rng* wins, else a
+    ``random.Random`` seeded from *seed* (default:
+    ``SystemConfig.rng_seed + 1``, the phase's historical stream).
+    """
     base = base_vpn * PAGE_SIZE
     span = profile.footprint_pages * PAGE_SIZE
+    rng = derive_rng(rng, seed, stream=1)
     return Trace.random_in_region(base, span, accesses,
                                   write_fraction=0.2, gap=profile.gap,
-                                  seed=seed)
+                                  rng=rng)
 
 
 def measurement_trace(profile: BenchmarkProfile, base_vpn: int,
-                      scale: float = 1.0, seed: int = 2) -> Trace:
+                      scale: float = 1.0, seed: Optional[int] = None,
+                      rng: Optional[random.Random] = None) -> Trace:
     """Post-fork phase with the benchmark's write-working-set structure.
 
     ``scale`` multiplies the written-page count (for quick test runs).
+    Randomness is deterministic: an injected *rng* wins, else a
+    ``random.Random`` seeded from *seed* (default:
+    ``SystemConfig.rng_seed + 2``, the phase's historical stream).
     """
-    rng = random.Random(seed)
+    rng = derive_rng(rng, seed, stream=2)
     base = base_vpn * PAGE_SIZE
     write_pages = max(1, round(profile.write_pages * scale))
     pages = rng.sample(range(profile.footprint_pages), write_pages)

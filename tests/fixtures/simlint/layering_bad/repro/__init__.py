@@ -1,0 +1,1 @@
+"""SL004 fixture tree (bad): upward import plus a module cycle."""

@@ -1,0 +1,7 @@
+"""Engine-tier module reaching up into the techniques tier."""
+
+from repro.techniques.policy import PolicyKnob   # SL004: upward import
+
+
+def widget():
+    return PolicyKnob

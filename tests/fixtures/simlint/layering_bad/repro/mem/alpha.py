@@ -1,0 +1,5 @@
+from repro.mem.beta import beta_helper   # SL004: half of a module cycle
+
+
+def alpha_helper():
+    return beta_helper

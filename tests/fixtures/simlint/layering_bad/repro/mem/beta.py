@@ -1,0 +1,5 @@
+from repro.mem.alpha import alpha_helper   # SL004: other half of the cycle
+
+
+def beta_helper():
+    return alpha_helper

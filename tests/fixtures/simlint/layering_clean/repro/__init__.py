@@ -1,0 +1,1 @@
+"""SL004 fixture tree (clean): imports only flow down the DAG."""

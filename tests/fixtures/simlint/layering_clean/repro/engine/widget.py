@@ -1,0 +1,12 @@
+"""Engine-tier module with a sanctioned lazy escape hatch."""
+
+
+class Widget:
+    pass
+
+
+def build_policy():
+    # Function-body imports are deferred, so reaching up here is allowed.
+    from repro.techniques.policy import PolicyKnob
+
+    return PolicyKnob()

@@ -1,0 +1,5 @@
+from repro.engine.widget import Widget   # downward import: fine
+
+
+class PolicyKnob(Widget):
+    pass

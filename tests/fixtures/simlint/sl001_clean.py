@@ -1,0 +1,8 @@
+"""SL001 fixture (clean): injected seeded RNG, no wall clock."""
+
+import random
+
+
+def sample(population, rng: random.Random):
+    generator = random.Random(7)          # constructing is fine
+    return rng.choice(population), generator.random()

@@ -1,0 +1,15 @@
+"""SL001 fixture: wall-clock reads and module-level RNG calls."""
+
+import random
+import time
+from datetime import datetime
+from random import randrange
+
+
+def timestamped_sample(population):
+    started = time.time()                 # SL001: wall clock
+    stamp = datetime.now()                # SL001: wall clock
+    pick = random.choice(population)      # SL001: module-level RNG
+    noise = random.random()               # SL001: module-level RNG
+    extra = randrange(10)                 # SL001: bare import from random
+    return started, stamp, pick, noise, extra

@@ -1,0 +1,13 @@
+"""SL002 fixture (clean): latencies flow in from SystemConfig."""
+
+from repro.config import DEFAULT_CONFIG
+
+PROBE_LATENCY = DEFAULT_CONFIG.l1_tag_latency   # routed, not a literal
+
+
+def lookup(entry, miss_latency: int = DEFAULT_CONFIG.tlb_miss_latency):
+    latency = 0                           # zero accumulator start is fine
+    size = 4096                           # non-timing literal is fine
+    if entry is None:
+        return miss_latency + latency
+    return size

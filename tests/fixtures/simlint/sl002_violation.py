@@ -1,0 +1,14 @@
+"""SL002 fixture: latency literals outside SystemConfig/engine."""
+
+PROBE_LATENCY = 42                        # SL002: module constant
+
+
+def lookup(entry, miss_latency: int = 900):   # SL002: parameter default
+    if entry is None:
+        return miss_latency
+    total_cycles = 3                      # SL002: assignment
+    return probe(entry, tag_latency=2)    # SL002: keyword argument
+
+
+def probe(entry, tag_latency):
+    return tag_latency

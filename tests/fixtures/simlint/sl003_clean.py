@@ -1,0 +1,15 @@
+"""SL003 fixture (clean): counters registered with the StatsRegistry."""
+
+from repro.engine.component import Component
+
+
+class DisciplinedCache(Component):
+    def __init__(self):
+        super().__init__("disciplined")
+        self.hits = self.stats_scope.counter("hits")
+        self.occupancy = 0
+        self.stats_scope.gauge("occupancy")
+
+    def access(self, tag):
+        self.hits.increment()
+        return tag

@@ -1,0 +1,15 @@
+"""SL003 fixture: a Component growing an ad-hoc counter."""
+
+from repro.engine.component import Component
+
+
+class LeakyCache(Component):
+    def __init__(self):
+        super().__init__("leaky")
+        self.hits = 0                     # never reaches the StatsRegistry
+        self._probes = 0                  # private bookkeeping: exempt
+
+    def access(self, tag):
+        self._probes += 1
+        self.hits += 1                    # SL003: ad-hoc counter
+        return tag

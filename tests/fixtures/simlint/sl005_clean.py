@@ -1,0 +1,22 @@
+"""SL005 fixture (clean): both blessed initialisation styles."""
+
+from dataclasses import dataclass
+
+from repro.engine.component import Component
+
+
+class PlainChild(Component):
+    def __init__(self, name, parent=None):
+        super().__init__(name, parent=parent)
+
+
+@dataclass
+class DataclassChild(Component):
+    width: int = 8
+
+    def __post_init__(self):
+        self.init_component("dataclass-child")
+
+
+class InheritedInit(Component):
+    """No __init__ of its own: Component's is inherited unchanged."""

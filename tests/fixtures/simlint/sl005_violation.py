@@ -1,0 +1,17 @@
+"""SL005 fixture: Component subclasses breaking the wiring protocol."""
+
+from repro.engine.clock import SimClock
+from repro.engine.component import Component
+
+
+class Orphan(Component):
+    def __init__(self, name):             # SL005: never joins the tree
+        self.name = name
+
+
+class ClockForker(Component):
+    def __init__(self, name):
+        super().__init__(name)
+
+    def detach(self):
+        self.sim_clock = SimClock()       # SL005: rebinds the timeline
