@@ -16,6 +16,7 @@
 
 from repro.core.address import LINES_PER_PAGE, PAGE_SIZE
 from repro.core.oms import smallest_segment_for
+from repro.obs import benchmark_run
 from repro.osmodel.kernel import Kernel
 from repro.sparse.matrix_gen import generate_with_locality
 from repro.sparse.spmv import run_spmv
@@ -121,28 +122,39 @@ def test_ablation_tlb_fill_cost(benchmark):
 
 
 def main():
-    print("Ablation 1: OMT cache size (overlay SpMV cycles, L=2)")
-    for size, cycles in omt_cache_sweep().items():
-        print(f"  {size:>3d} entries: {cycles:>9d} cycles")
+    with benchmark_run("ablations") as run:
+        omt_cycles = omt_cache_sweep()
+        print("Ablation 1: OMT cache size (overlay SpMV cycles, L=2)")
+        for size, cycles in omt_cycles.items():
+            print(f"  {size:>3d} entries: {cycles:>9d} cycles")
 
-    ladder, only_4k = segment_ladder_comparison()
-    print("\nAblation 2: segment ladder vs only-4KB segments")
-    print(f"  full ladder : {ladder / 1024:8.0f} KB")
-    print(f"  only 4KB    : {only_4k / 1024:8.0f} KB "
-          f"({only_4k / ladder:.1f}x more)")
+        ladder, only_4k = segment_ladder_comparison()
+        print("\nAblation 2: segment ladder vs only-4KB segments")
+        print(f"  full ladder : {ladder / 1024:8.0f} KB")
+        print(f"  only 4KB    : {only_4k / 1024:8.0f} KB "
+              f"({only_4k / ladder:.1f}x more)")
 
-    print("\nAblation 3: remap TLB-update mechanism "
-          "(64 overlaying writes, total latency)")
-    for mechanism, cycles in remap_mechanism_comparison().items():
-        print(f"  {mechanism:<10}: {cycles:>9d} cycles")
+        print("\nAblation 3: remap TLB-update mechanism "
+              "(64 overlaying writes, total latency)")
+        remap_cycles = remap_mechanism_comparison()
+        for mechanism, cycles in remap_cycles.items():
+            print(f"  {mechanism:<10}: {cycles:>9d} cycles")
 
-    print("\nAblation 4: TLB-fill OBitVector fetch cost "
-          "(TLB-thrashing reads)")
-    results = tlb_fill_cost_comparison()
-    overhead = results[True] / results[False] - 1.0
-    print(f"  overlays off: {results[False]:>9d} cycles")
-    print(f"  overlays on : {results[True]:>9d} cycles "
-          f"(+{overhead:.1%} — the Section 4.3 TLB-fill cost)")
+        print("\nAblation 4: TLB-fill OBitVector fetch cost "
+              "(TLB-thrashing reads)")
+        results = tlb_fill_cost_comparison()
+        overhead = results[True] / results[False] - 1.0
+        print(f"  overlays off: {results[False]:>9d} cycles")
+        print(f"  overlays on : {results[True]:>9d} cycles "
+              f"(+{overhead:.1%} — the Section 4.3 TLB-fill cost)")
+
+        run.record(
+            omt_cache_cycles=omt_cycles,
+            segment_ladder={"ladder_bytes": ladder,
+                            "only_4k_bytes": only_4k},
+            remap_mechanism_cycles=remap_cycles,
+            tlb_fill_cycles={"overlays_on": results[True],
+                             "overlays_off": results[False]})
 
 
 if __name__ == "__main__":

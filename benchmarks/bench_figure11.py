@@ -5,8 +5,11 @@ capacity analysis and asserts its shape; ``python
 benchmarks/bench_figure11.py`` regenerates the full series.
 """
 
+from dataclasses import asdict
+
 from repro.eval.granularity_experiment import (BLOCK_SIZES, format_figure11,
                                                mean_overhead, run_figure11)
+from repro.obs import benchmark_run
 
 
 def test_figure11_shape(benchmark):
@@ -31,10 +34,14 @@ def test_figure11_finer_beats_csr_more_often(benchmark):
 
 
 def main():
-    points = run_figure11(matrix_count=16)
-    print(format_figure11(points))
-    print(f"[paper: 4KB pages cost ~53x Ideal on average; 64B close to "
-          f"CSR; finer granularities beat CSR on more matrices]")
+    with benchmark_run("figure11") as run:
+        points = run_figure11(matrix_count=16)
+        print(format_figure11(points))
+        print(f"[paper: 4KB pages cost ~53x Ideal on average; 64B close to "
+              f"CSR; finer granularities beat CSR on more matrices]")
+        run.record(points=[asdict(point) for point in points],
+                   mean_overheads={size: mean_overhead(points, size)
+                                   for size in BLOCK_SIZES})
 
 
 if __name__ == "__main__":

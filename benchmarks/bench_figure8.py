@@ -6,10 +6,13 @@ benchmark per write-working-set type and asserts the figure's shape;
 series the paper plots.
 """
 
+from dataclasses import asdict
+
 import pytest
 
 from repro.eval.fork_experiment import (format_figure8, run_benchmark,
                                         run_suite, summarize)
+from repro.obs import benchmark_run
 
 REPRESENTATIVES = ["hmmer", "lbm", "mcf"]  # one per type
 
@@ -32,11 +35,14 @@ def test_figure8_memory(benchmark, name):
 
 
 def main():
-    results = run_suite()
-    print(format_figure8(results))
-    stats = summarize(results)
-    print(f"\nmean memory reduction (overlay-on-write vs copy-on-write): "
-          f"{stats['memory_reduction']:.0%}  [paper: 53%]")
+    with benchmark_run("figure8") as run:
+        results = run_suite()
+        print(format_figure8(results))
+        stats = summarize(results)
+        print(f"\nmean memory reduction (overlay-on-write vs copy-on-write): "
+              f"{stats['memory_reduction']:.0%}  [paper: 53%]")
+        run.record(benchmarks=[asdict(result) for result in results],
+                   summary=stats)
 
 
 if __name__ == "__main__":

@@ -5,10 +5,13 @@ benchmark per type and asserts the performance shape; ``python
 benchmarks/bench_figure9.py`` regenerates the full series.
 """
 
+from dataclasses import asdict
+
 import pytest
 
 from repro.eval.fork_experiment import (format_figure9, run_benchmark,
                                         run_suite, summarize)
+from repro.obs import benchmark_run
 
 REPRESENTATIVES = ["sphinx3", "soplex", "omnet"]  # one per type
 
@@ -26,12 +29,15 @@ def test_figure9_cpi(benchmark, name):
 
 
 def main():
-    results = run_suite()
-    print(format_figure9(results))
-    stats = summarize(results)
-    print(f"\nmean performance improvement (overlay-on-write vs "
-          f"copy-on-write): {stats['performance_improvement']:.0%}  "
-          f"[paper: 15%]")
+    with benchmark_run("figure9") as run:
+        results = run_suite()
+        print(format_figure9(results))
+        stats = summarize(results)
+        print(f"\nmean performance improvement (overlay-on-write vs "
+              f"copy-on-write): {stats['performance_improvement']:.0%}  "
+              f"[paper: 15%]")
+        run.record(benchmarks=[asdict(result) for result in results],
+                   summary=stats)
 
 
 if __name__ == "__main__":

@@ -1,7 +1,10 @@
 """Section 4.5: hardware storage cost (OMT cache 4KB, TLB +8.5KB,
 tags +82KB, total 94.5KB)."""
 
+from dataclasses import asdict
+
 from repro.eval.hardware_cost import compute_hardware_cost, format_hardware_cost
+from repro.obs import benchmark_run
 
 
 def test_hardware_cost_matches_paper(benchmark):
@@ -13,8 +16,11 @@ def test_hardware_cost_matches_paper(benchmark):
 
 
 def main():
-    print(format_hardware_cost(compute_hardware_cost()))
-    print("[paper: 4KB + 8.5KB + 82KB = 94.5KB]")
+    with benchmark_run("hardware_cost") as run:
+        cost = compute_hardware_cost()
+        print(format_hardware_cost(cost))
+        print("[paper: 4KB + 8.5KB + 82KB = 94.5KB]")
+        run.record(cost=asdict(cost))
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ DRAM bandwidth the neighbour is fighting for.
 
 from repro.core.address import PAGE_SIZE
 from repro.cpu.core import Core
+from repro.obs import benchmark_run
 from repro.cpu.multicore import MultiCoreScheduler
 from repro.cpu.trace import Trace
 from repro.osmodel.cow import CopyOnWritePolicy
@@ -52,12 +53,15 @@ def test_overlay_advantage_survives_contention(benchmark):
 
 
 def main():
-    print("soplex fork study with a streaming co-runner (CPI):")
-    for policy in ("copy", "overlay"):
-        solo = corun(policy, neighbour=False)
-        shared = corun(policy, neighbour=True)
-        print(f"  {policy:>7}: solo {solo:6.2f}   with neighbour "
-              f"{shared:6.2f}   (slowdown {shared / solo:4.2f}x)")
+    with benchmark_run("multiprogrammed") as run:
+        print("soplex fork study with a streaming co-runner (CPI):")
+        for policy in ("copy", "overlay"):
+            solo = corun(policy, neighbour=False)
+            shared = corun(policy, neighbour=True)
+            print(f"  {policy:>7}: solo {solo:6.2f}   with neighbour "
+                  f"{shared:6.2f}   (slowdown {shared / solo:4.2f}x)")
+            run.record(**{policy: {"solo_cpi": solo, "shared_cpi": shared,
+                                   "slowdown": shared / solo}})
 
 
 if __name__ == "__main__":

@@ -1,7 +1,10 @@
 """Sections 2.2 / 4.3.3: critical-path latency of the first write to a
 copy-on-write page (page copy + shootdown vs line move + coherence)."""
 
+from dataclasses import asdict
+
 from repro.eval.remap_latency import format_remap_latency, measure_remap_latency
+from repro.obs import benchmark_run
 
 
 def test_remap_latency_overlay_wins(benchmark):
@@ -13,7 +16,10 @@ def test_remap_latency_overlay_wins(benchmark):
 
 
 def main():
-    print(format_remap_latency(measure_remap_latency()))
+    with benchmark_run("remap_latency") as run:
+        result = measure_remap_latency()
+        print(format_remap_latency(result))
+        run.record(latency=asdict(result))
 
 
 if __name__ == "__main__":

@@ -6,7 +6,10 @@ sparsity level, gap grows with the zero-line fraction); ``python
 benchmarks/bench_sparsity_sweep.py`` prints the full series.
 """
 
+from dataclasses import asdict
+
 from repro.eval.sparsity_sweep import format_sweep, run_sparsity_sweep
+from repro.obs import benchmark_run
 
 
 def test_sparsity_sweep_overlay_always_wins(benchmark):
@@ -22,11 +25,13 @@ def test_sparsity_sweep_overlay_always_wins(benchmark):
 
 
 def main():
-    points = run_sparsity_sweep()
-    print(format_sweep(points))
-    print("[paper: overlays outperform the dense representation at all "
-          "sparsity levels; the gap grows linearly with the fraction of "
-          "zero cache lines]")
+    with benchmark_run("sparsity_sweep") as run:
+        points = run_sparsity_sweep()
+        print(format_sweep(points))
+        print("[paper: overlays outperform the dense representation at all "
+              "sparsity levels; the gap grows linearly with the fraction of "
+              "zero cache lines]")
+        run.record(points=[asdict(point) for point in points])
 
 
 if __name__ == "__main__":

@@ -5,7 +5,10 @@ construction of a fully wired simulated machine and a short warm access
 loop; ``python benchmarks/bench_table2.py`` prints Table 2 itself.
 """
 
+from dataclasses import asdict
+
 from repro.eval.config import DEFAULT_CONFIG
+from repro.obs import benchmark_run
 from repro.osmodel.kernel import Kernel
 from repro.cpu.core import Core
 from repro.cpu.trace import Trace
@@ -36,8 +39,10 @@ def test_table2_access_loop(benchmark):
 
 
 def main():
-    print("Table 2: Main parameters of our simulated system")
-    print(DEFAULT_CONFIG.format_table())
+    with benchmark_run("table2") as run:
+        print("Table 2: Main parameters of our simulated system")
+        print(DEFAULT_CONFIG.format_table())
+        run.record(config=asdict(DEFAULT_CONFIG))
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ with the baseline each one beats.
 import random
 
 from repro.core.address import LINE_SIZE, PAGE_SIZE
+from repro.obs import benchmark_run
 from repro.osmodel.kernel import Kernel
 from repro.techniques.checkpoint import CheckpointManager
 from repro.techniques.dedup import DeduplicationManager
@@ -151,28 +152,44 @@ def test_superpage_segment_copies_beat_full_copy(benchmark):
 
 
 def main():
-    before, after, dedup = dedup_vm_fleet()
-    print(f"dedup      : {before / 1024:.0f} KB -> {after / 1024:.0f} KB "
-          f"({dedup.stats.pages_deduplicated} pages merged, "
-          f"{dedup.stats.overlay_lines_created} diff lines kept)")
+    with benchmark_run("techniques") as run:
+        before, after, dedup = dedup_vm_fleet()
+        print(f"dedup      : {before / 1024:.0f} KB -> {after / 1024:.0f} KB "
+              f"({dedup.stats.pages_deduplicated} pages merged, "
+              f"{dedup.stats.overlay_lines_created} diff lines kept)")
 
-    ck = checkpoint_epochs()
-    print(f"checkpoint : wrote {ck.total_bytes_written} B vs "
-          f"{ck.total_page_granularity_bytes} B page-granularity "
-          f"({ck.bandwidth_reduction:.0%} bandwidth saved)")
+        ck = checkpoint_epochs()
+        print(f"checkpoint : wrote {ck.total_bytes_written} B vs "
+              f"{ck.total_page_granularity_bytes} B page-granularity "
+              f"({ck.bandwidth_reduction:.0%} bandwidth saved)")
 
-    spilled, abort_latency, _, _ = speculation_round()
-    print(f"speculation: {spilled / 1024:.0f} KB of speculative state "
-          f"survived eviction; abort rolled back in {abort_latency} cycles")
+        spilled, abort_latency, _, _ = speculation_round()
+        print(f"speculation: {spilled / 1024:.0f} KB of speculative state "
+              f"survived eviction; abort rolled back in {abort_latency} cycles")
 
-    md = metadata_sweep()
-    print(f"metadata   : 500 tagged words cost {md.shadow_bytes} B of "
-          f"shadow (page-granularity shadow: {8 * PAGE_SIZE} B)")
+        md = metadata_sweep()
+        print(f"metadata   : 500 tagged words cost {md.shadow_bytes} B of "
+              f"shadow (page-granularity shadow: {8 * PAGE_SIZE} B)")
 
-    sp = superpage_divergence()
-    print(f"super-pages: {sp.stats.segment_copies} segment copies = "
-          f"{sp.stats.pages_copied} pages copied "
-          f"(full-copy baseline: 512 pages; shatter baseline: 512 PTEs)")
+        sp = superpage_divergence()
+        print(f"super-pages: {sp.stats.segment_copies} segment copies = "
+              f"{sp.stats.pages_copied} pages copied "
+              f"(full-copy baseline: 512 pages; shatter baseline: 512 PTEs)")
+
+        run.record(
+            dedup={"bytes_before": before, "bytes_after": after,
+                   "pages_deduplicated": dedup.stats.pages_deduplicated,
+                   "overlay_lines_created": dedup.stats.overlay_lines_created},
+            checkpoint={"bytes_written": ck.total_bytes_written,
+                        "page_granularity_bytes":
+                            ck.total_page_granularity_bytes,
+                        "bandwidth_reduction": ck.bandwidth_reduction},
+            speculation={"spilled_bytes": spilled,
+                         "abort_latency_cycles": abort_latency},
+            metadata={"shadow_bytes": md.shadow_bytes,
+                      "page_granularity_bytes": 8 * PAGE_SIZE},
+            superpage={"segment_copies": sp.stats.segment_copies,
+                       "pages_copied": sp.stats.pages_copied})
 
 
 if __name__ == "__main__":

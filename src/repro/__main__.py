@@ -5,19 +5,31 @@ Usage::
     python -m repro list
     python -m repro table2
     python -m repro figure8 figure9
-    python -m repro all          # everything (several minutes)
+    python -m repro all                      # everything (several minutes)
+    python -m repro --json figure8           # also write results/figure8.json
+    python -m repro --json --trace remap-latency   # + results/*.trace.json
+
+Options:
+    --json             write a machine-readable results/<name>.json
+                       (manifest + data) next to the printed output
+    --trace            arm the engine event tracer for each experiment
+                       and write results/<name>.trace.json (implies --json)
+    --results-dir DIR  directory for the JSON artifacts (default:
+                       ./results, or $REPRO_RESULTS_DIR)
 """
 
 from __future__ import annotations
 
 import sys
 import time
+from dataclasses import asdict
 
 
 def _run_table2():
     from .eval.config import DEFAULT_CONFIG
     print("Table 2: Main parameters of our simulated system")
     print(DEFAULT_CONFIG.format_table())
+    return {"config": asdict(DEFAULT_CONFIG)}
 
 
 def _run_figure8():
@@ -26,6 +38,8 @@ def _run_figure8():
     print(format_figure8(results))
     print(f"mean memory reduction: "
           f"{summarize(results)['memory_reduction']:.0%}  [paper: 53%]")
+    return {"benchmarks": [asdict(result) for result in results],
+            "summary": summarize(results)}
 
 
 def _run_figure9():
@@ -35,6 +49,8 @@ def _run_figure9():
     print(f"mean performance improvement: "
           f"{summarize(results)['performance_improvement']:.0%}  "
           f"[paper: 15%]")
+    return {"benchmarks": [asdict(result) for result in results],
+            "summary": summarize(results)}
 
 
 def _run_figure10():
@@ -49,26 +65,35 @@ def _run_figure10():
                       x_label="non-zero value locality L",
                       y_label="CSR cycles / overlay cycles",
                       y_reference=1.0))
+    return {"points": [asdict(point) for point in points]}
 
 
 def _run_figure11():
     from .eval.granularity_experiment import format_figure11, run_figure11
-    print(format_figure11(run_figure11(matrix_count=16)))
+    points = run_figure11(matrix_count=16)
+    print(format_figure11(points))
+    return {"points": [asdict(point) for point in points]}
 
 
 def _run_sparsity():
     from .eval.sparsity_sweep import format_sweep, run_sparsity_sweep
-    print(format_sweep(run_sparsity_sweep()))
+    points = run_sparsity_sweep()
+    print(format_sweep(points))
+    return {"points": [asdict(point) for point in points]}
 
 
 def _run_hardware_cost():
     from .eval.hardware_cost import compute_hardware_cost, format_hardware_cost
-    print(format_hardware_cost(compute_hardware_cost()))
+    cost = compute_hardware_cost()
+    print(format_hardware_cost(cost))
+    return {"cost": asdict(cost)}
 
 
 def _run_remap_latency():
     from .eval.remap_latency import format_remap_latency, measure_remap_latency
-    print(format_remap_latency(measure_remap_latency()))
+    result = measure_remap_latency()
+    print(format_remap_latency(result))
+    return {"latency": asdict(result)}
 
 
 EXPERIMENTS = {
@@ -83,15 +108,58 @@ EXPERIMENTS = {
 }
 
 
+def _run_one(target: str, emit_json: bool, trace: bool,
+             results_dir) -> None:
+    """Run one experiment, optionally capturing trace + JSON artifacts."""
+    if not emit_json:
+        EXPERIMENTS[target][0]()
+        return
+    from .obs import RunManifest, emit_run, tracing_session
+    manifest = RunManifest.create(target)
+    tracer = None
+    if trace:
+        with tracing_session() as tracer:
+            data = EXPERIMENTS[target][0]()
+    else:
+        data = EXPERIMENTS[target][0]()
+    path = emit_run(target, data, manifest=manifest, tracer=tracer,
+                    results_dir=results_dir)
+    print(f"[wrote {path}]")
+
+
 def main(argv=None):
     args = list(sys.argv[1:] if argv is None else argv)
-    if not args or args == ["list"]:
+    emit_json = False
+    trace = False
+    results_dir = None
+    targets = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--json":
+            emit_json = True
+        elif arg == "--trace":
+            trace = emit_json = True
+        elif arg == "--results-dir":
+            i += 1
+            if i >= len(args):
+                print("--results-dir requires a directory argument")
+                return 2
+            results_dir = args[i]
+        elif arg.startswith("-"):
+            print(f"unknown option {arg}; try `python -m repro list`")
+            return 2
+        else:
+            targets.append(arg)
+        i += 1
+    if not targets or targets == ["list"]:
         print(__doc__)
         print("experiments:")
         for name, (_, description) in EXPERIMENTS.items():
             print(f"  {name:<14} {description}")
         return 0
-    targets = list(EXPERIMENTS) if args == ["all"] else args
+    if targets == ["all"]:
+        targets = list(EXPERIMENTS)
     unknown = [t for t in targets if t not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}; "
@@ -103,7 +171,7 @@ def main(argv=None):
         # Wall-clock here times the *harness*, not the simulation; the
         # simulated timeline comes solely from SimClock.
         started = time.time()  # simlint: disable=SL001
-        EXPERIMENTS[target][0]()
+        _run_one(target, emit_json, trace, results_dir)
         elapsed = time.time() - started  # simlint: disable=SL001
         print(f"[{target} done in {elapsed:.1f}s]")
     return 0

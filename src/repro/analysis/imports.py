@@ -3,7 +3,9 @@
 The simulator's layers, bottom to top::
 
     config, engine                    (rank 0: the kernel; no sim imports)
-    mem, core, cpu, osmodel           (rank 1: hardware structures)
+    mem, core, cpu, osmodel, obs      (rank 1: hardware structures and
+                                       the observability layer on the
+                                       engine's hook points)
     techniques                        (rank 2: Table 1 techniques)
     eval, workloads, sparse           (rank 3: experiments and inputs)
 
@@ -33,7 +35,7 @@ from .modules import SourceModule
 #: Layer rank of each ``repro.<layer>`` package (lower = further down).
 LAYER_RANKS: Dict[str, int] = {
     "config": 0, "engine": 0,
-    "mem": 1, "core": 1, "cpu": 1, "osmodel": 1,
+    "mem": 1, "core": 1, "cpu": 1, "osmodel": 1, "obs": 1,
     "techniques": 2,
     "eval": 3, "workloads": 3, "sparse": 3,
 }

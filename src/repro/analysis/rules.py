@@ -380,7 +380,7 @@ def check_component_protocol(module: SourceModule,
 # registered here so rule listings and --select stay uniform.
 RULES["SL004"] = RuleSpec(
     "SL004",
-    "layering: engine -> {mem, core, cpu, osmodel} -> techniques -> "
+    "layering: engine -> {mem, core, cpu, osmodel, obs} -> techniques -> "
     "{eval, workloads, sparse}; no upward imports, no cycles",
     None)
 

@@ -28,6 +28,7 @@ from .omt import OMTEntry
 from .tlb import TLB
 from ..config import DEFAULT_CONFIG
 from ..engine.component import Component
+from ..engine.tracing import HOOKS
 
 #: Cycles for the *overlaying read exclusive* round trip: the store
 #: cannot commit until the single-line remap is globally visible, so the
@@ -99,6 +100,10 @@ class CoherenceNetwork(Component):
         start = max(now, self._port_busy_until)
         done = start + self.message_latency
         self._port_busy_until = done
+        if HOOKS.active is not None:
+            HOOKS.active.emit(now, "coherence", "overlaying_read_exclusive",
+                              {"opn": overlay_page, "line": line,
+                               "latency": done - now})
         return done - now
 
     def broadcast_commit(self, overlay_page: int,
@@ -112,6 +117,10 @@ class CoherenceNetwork(Component):
                 self.stats.tlb_entries_updated += 1
         if omt_entry is not None:
             omt_entry.obitvector.clear_all()
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "coherence", "broadcast_commit",
+                              {"opn": overlay_page,
+                               "latency": self.message_latency})
         return self.message_latency
 
     # -- the baseline it replaces -------------------------------------------
@@ -121,4 +130,8 @@ class CoherenceNetwork(Component):
         self.stats.shootdowns += 1
         for tlb in self.tlbs:
             tlb.shootdown(asid, vpn)
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "coherence", "shootdown",
+                              {"asid": asid, "vpn": vpn,
+                               "latency": self.shootdown_latency})
         return self.shootdown_latency

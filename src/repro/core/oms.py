@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional
 
 from .address import LINE_SIZE, LINES_PER_PAGE, PAGE_SIZE
 from ..engine.component import Component
+from ..engine.tracing import HOOKS
 
 #: The five fixed segment sizes, smallest first (Section 4.4.2).
 SEGMENT_SIZES = (256, 512, 1024, 2048, 4096)
@@ -298,6 +299,10 @@ class OverlayMemoryStore(Component):
         self.stats.segments_allocated += 1
         if not segment.is_direct_mapped:
             self.stats.memory_line_transfers += 1  # initialise metadata line
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "oms", "oms.allocate",
+                              {"base": base, "size": size,
+                               "lines": line_count})
         return segment
 
     def free_segment(self, segment: Segment) -> None:
@@ -306,6 +311,9 @@ class OverlayMemoryStore(Component):
             raise OMSError(f"segment @{segment.base:#x} is not live")
         self._release_base(segment.base, segment.size)
         self.stats.segments_freed += 1
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "oms", "oms.free",
+                              {"base": segment.base, "size": segment.size})
 
     def migrate(self, segment: Segment) -> Segment:
         """Move *segment* into the next larger size, copying its lines.
@@ -327,6 +335,11 @@ class OverlayMemoryStore(Component):
         del self._segments[segment.base]
         self._release_base(segment.base, segment.size)
         self.stats.segment_migrations += 1
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "oms", "oms.migrate",
+                              {"base": segment.base, "size": segment.size,
+                               "new_base": base, "new_size": new_size,
+                               "lines": moved})
         return new_segment
 
     # -- line access (called from the writeback / fill paths) --------------

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .obitvector import OBitVector
+from ..engine.tracing import HOOKS
 from .page_table import PTE
 from ..config import DEFAULT_CONFIG
 from ..engine.component import Component
@@ -148,6 +149,10 @@ class TLB(Component):
             self._l1.insert(entry)  # promote; L2 keeps it (inclusive)
             return entry, self.l1_latency + self.l2_latency
         self.stats.misses += 1
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "tlb", f"{self.component_name}.miss",
+                              {"asid": asid, "vpn": vpn,
+                               "latency": self.miss_latency})
         return None, self.miss_latency
 
     def fill(self, asid: int, vpn: int, pte: PTE,
@@ -162,6 +167,10 @@ class TLB(Component):
                          obitvector=(obitvector or OBitVector()).copy())
         self._l2.insert(entry)
         self._l1.insert(entry)
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "tlb", f"{self.component_name}.fill",
+                              {"asid": asid, "vpn": vpn,
+                               "overlay": obitvector is not None})
         return entry
 
     # -- coherence (Section 4.3.3) -----------------------------------------
@@ -200,6 +209,10 @@ class TLB(Component):
         hit2 = self._l2.invalidate((asid, vpn))
         if hit1 or hit2:
             self.stats.shootdowns += 1
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "tlb", f"{self.component_name}.shootdown",
+                              {"asid": asid, "vpn": vpn,
+                               "invalidated": hit1 or hit2})
         return hit1 or hit2
 
     def flush(self) -> None:

@@ -20,9 +20,13 @@ this repository needs and previously reimplemented by hand:
   place;
 * :func:`~repro.engine.rng.derive_rng` — seeded-RNG derivation, so
   every synthetic-input generator draws from an explicit
-  ``random.Random`` rooted at ``SystemConfig.rng_seed`` (simlint SL001).
+  ``random.Random`` rooted at ``SystemConfig.rng_seed`` (simlint SL001);
+* :mod:`~repro.engine.tracing` — the opt-in trace-hook slot every
+  engine structure publishes events through (free when no sink is
+  installed; the recorder lives in :mod:`repro.obs`).
 """
 
+from . import tracing
 from .clock import ClockCursor, ClockError, SimClock
 from .component import Component
 from .port import (FetchPort, MissPort, MissResolution, Port, PortError,
@@ -30,6 +34,7 @@ from .port import (FetchPort, MissPort, MissResolution, Port, PortError,
 from .stats import Counter, Gauge, StatsError, StatsRegistry, merge_blocks, snapshot_block
 from .builder import SystemBuilder
 from .rng import derive_rng, resolve_seed
+from .tracing import TraceError, TraceSink
 
 __all__ = [
     "ClockCursor", "ClockError", "SimClock",
@@ -40,4 +45,5 @@ __all__ = [
     "merge_blocks", "snapshot_block",
     "SystemBuilder",
     "derive_rng", "resolve_seed",
+    "tracing", "TraceError", "TraceSink",
 ]

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import List
 
+from .tracing import HOOKS
+
 
 class ClockError(RuntimeError):
     """Raised when a component tries to move its clock backwards."""
@@ -45,6 +47,8 @@ class ClockCursor:
             raise ClockError(f"cursor {self.name!r} cannot advance by {cycles}")
         self._time += cycles
         self._clock._observe(self._time)
+        if HOOKS.active is not None:
+            HOOKS.active.emit(self._time, "cursor", self.name, None)
         return self._time
 
     def advance_to(self, cycle: int) -> int:
@@ -54,6 +58,8 @@ class ClockCursor:
                 f"cursor {self.name!r} at {self._time} cannot rewind to {cycle}")
         self._time = cycle
         self._clock._observe(self._time)
+        if HOOKS.active is not None:
+            HOOKS.active.emit(self._time, "cursor", self.name, None)
         return self._time
 
     def catch_up_to(self, cycle: int) -> int:
@@ -103,6 +109,8 @@ class SimClock:
             raise ClockError(f"clock at {self._now} cannot rewind to {cycle}")
         self._now = cycle
         self._observe(cycle)
+        if HOOKS.active is not None:
+            HOOKS.active.emit(cycle, "clock", "advance", None)
         return self._now
 
     def _observe(self, cycle: int) -> None:
@@ -135,6 +143,8 @@ class SimClock:
             raise ClockError(f"cannot seek to negative cycle {cycle}")
         self._now = cycle
         self._observe(cycle)
+        if HOOKS.active is not None:
+            HOOKS.active.emit(cycle, "clock", "seek", None)
         return self._now
 
     def release(self, cursor: ClockCursor) -> None:

@@ -23,10 +23,11 @@ constructor, while dataclasses call :meth:`init_component` from
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from .clock import SimClock
 from .stats import StatsRegistry
+from .tracing import HOOKS
 
 
 class Component:
@@ -76,6 +77,21 @@ class Component:
         yield self
         for child in self._children.values():
             yield from child.walk_components()
+
+    # -- observability -------------------------------------------------------
+
+    def trace_event(self, category: str, name: str,
+                    args: Optional[Dict[str, Any]] = None) -> None:
+        """Publish an event to the installed trace sink, if any.
+
+        Convenience for cold paths; the event name is qualified with the
+        component's name.  Hot paths should guard with ``HOOKS.active
+        is not None`` *before* building the ``args`` dict so a disabled
+        tracer costs no allocation (see :mod:`repro.engine.tracing`).
+        """
+        sink = HOOKS.active
+        if sink is not None:
+            sink.emit(None, category, f"{self.component_name}.{name}", args)
 
     def find_component(self, path: str) -> "Component":
         """Resolve a ``/``-separated path relative to this component."""

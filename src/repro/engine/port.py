@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from .stats import StatsRegistry
+from .tracing import HOOKS
 
 
 class PortError(RuntimeError):
@@ -96,6 +97,8 @@ class Port:
 
     def request(self, *args):
         """Generic request: forwards to the handler, counts the call."""
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "port", self.name, None)
         return self._serve(*args)
 
     def __repr__(self) -> str:
@@ -112,6 +115,10 @@ class MissPort(Port):
             address, latency = response
             response = MissResolution(address=address, latency=latency)
         self._latency.increment(response.latency)
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "port", self.name,
+                              {"op": "resolve", "tag": tag,
+                               "latency": response.latency})
         return response
 
 
@@ -119,6 +126,9 @@ class FetchPort(Port):
     """Hierarchy -> controller: backing bytes for a line on a full miss."""
 
     def fetch(self, tag: int) -> Optional[bytes]:
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "port", self.name,
+                              {"op": "fetch", "tag": tag})
         return self._serve(tag)
 
 
@@ -132,4 +142,8 @@ class WritebackPort(Port):
     def writeback(self, tag: int, data: Optional[bytes]) -> int:
         latency = self._serve(tag, data)
         self._latency.increment(latency)
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "port", self.name,
+                              {"op": "writeback", "tag": tag,
+                               "latency": latency})
         return latency

@@ -187,6 +187,25 @@ class StatsRegistry:
             out[name] = node.snapshot()
         return out
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready structural view of this scope and its subtree.
+
+        Unlike :meth:`snapshot` (which inlines everything into one
+        nested mapping), ``to_dict`` keeps the scope structure explicit
+        — ``{"name", "scalars", "blocks", "children"}`` — so exporters
+        can round-trip the tree shape and machine-readable consumers
+        can tell a child scope from an adopted block.  The total of all
+        numeric values equals the total :meth:`format_tree` prints.
+        """
+        return {
+            "name": self.name,
+            "scalars": self.scalars(),
+            "blocks": {name: snapshot_block(block)
+                       for name, block in self._blocks.items()},
+            "children": [node.to_dict()
+                         for node in self._children.values()],
+        }
+
     def flat(self) -> Dict[str, Dict[str, Number]]:
         """Legacy whole-system shape: ``{scope_name: {field: value}}``.
 

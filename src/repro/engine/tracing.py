@@ -1,0 +1,87 @@
+"""Opt-in trace hooks — the engine half of the observability layer.
+
+The engine *publishes* events; it never records them.  A single
+process-wide slot (:data:`HOOKS`\ ``.active``) holds the installed
+:class:`TraceSink`, and every hook site in the engine follows one
+pattern::
+
+    if HOOKS.active is not None:
+        HOOKS.active.emit(time, category, name, args)
+
+Hot-path contract (asserted by ``tests/test_obs.py``): with no sink
+installed the hook is one attribute load plus an ``is None`` test — no
+calls, no allocations, and no change to any simulated cycle count.
+Event *payload* dictionaries are therefore only built inside the
+guard, never before it.
+
+The recording side (ring buffer, JSONL and Chrome-trace exporters)
+lives in :mod:`repro.obs.trace`; the engine only defines the interface
+so rank-1 components (TLB, OMS, coherence) can emit events without an
+upward import.
+
+Determinism: event times come from :class:`~repro.engine.clock.SimClock`
+(or are back-filled by the sink from the last clock event), never from
+the wall clock, so a traced run with a fixed ``rng_seed`` produces a
+byte-identical event stream (simlint SL001 applies to this module like
+any other sim path).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class TraceError(RuntimeError):
+    """Raised on conflicting sink installation."""
+
+
+class TraceSink:
+    """Interface every trace recorder implements.
+
+    ``emit(time, category, name, args)`` receives the simulated cycle
+    the event happened at (``None``: the sink back-fills the last
+    observed clock time), a short category (``"clock"``, ``"port"``,
+    ``"tlb"``, ...), an event name, and an optional payload dict.
+    """
+
+    def emit(self, time: Optional[int], category: str, name: str,
+             args: Optional[Dict[str, Any]] = None) -> None:
+        raise NotImplementedError
+
+
+class TraceHooks:
+    """The process-wide hook slot; ``active`` is ``None`` when off."""
+
+    __slots__ = ("active",)
+
+    def __init__(self) -> None:
+        self.active: Optional[TraceSink] = None
+
+
+#: The one slot every hook site reads.  Hook sites import this object
+#: (not its attribute) so installing a sink is visible everywhere.
+HOOKS = TraceHooks()
+
+
+def install(sink: TraceSink) -> TraceSink:
+    """Arm tracing: route every engine event to *sink*.
+
+    Exactly one sink may be active; installing over a live sink raises
+    :class:`TraceError` so nested sessions fail loudly instead of
+    silently stealing each other's events.
+    """
+    if HOOKS.active is not None:
+        raise TraceError("a trace sink is already installed; "
+                         "uninstall() it first")
+    HOOKS.active = sink
+    return sink
+
+
+def uninstall() -> None:
+    """Disarm tracing (idempotent; safe to call with no sink installed)."""
+    HOOKS.active = None
+
+
+def active() -> Optional[TraceSink]:
+    """The installed sink, or ``None`` when tracing is off."""
+    return HOOKS.active

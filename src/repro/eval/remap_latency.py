@@ -29,6 +29,8 @@ class RemapLatency:
 
     @property
     def speedup(self) -> float:
+        if self.overlay_on_write_cycles == 0:
+            return float("inf") if self.copy_on_write_cycles else 0.0
         return self.copy_on_write_cycles / self.overlay_on_write_cycles
 
 

@@ -30,12 +30,16 @@ def bar_chart(rows: Sequence[Tuple[str, float]], title: str = "",
     """Horizontal bar chart: one (label, value) per row."""
     if not rows:
         return title
-    peak = max(value for _, value in rows) or 1.0
+    # A non-positive peak (all-zero or all-negative rows) must not flip
+    # or explode the bar scaling; bars for values <= 0 render empty.
+    peak = max(value for _, value in rows)
+    if peak <= 0:
+        peak = 1.0
     label_width = max(len(label) for label, _ in rows)
     lines = [title] if title else []
     for label, value in rows:
         bar = "#" * max(1 if value > 0 else 0,
-                        round(width * value / peak))
+                        round(width * value / peak) if value > 0 else 0)
         lines.append(f"{label:<{label_width}} |{bar:<{width}} "
                      f"{value:,.2f}{unit}")
     return "\n".join(lines)
@@ -47,13 +51,17 @@ def grouped_bar_chart(rows: Sequence[Tuple[str, float, float]],
     """Two-series bar chart: (label, value_a, value_b) per row."""
     if not rows:
         return title
-    peak = max(max(a, b) for _, a, b in rows) or 1.0
+    peak = max(max(a, b) for _, a, b in rows)
+    if peak <= 0:
+        peak = 1.0
     label_width = max(len(label) for label, _, _ in rows)
     lines = [title] if title else []
     lines.append(f"{'':<{label_width}}  # = {series[0]}, = = {series[1]}")
     for label, a, b in rows:
-        bar_a = "#" * max(1 if a > 0 else 0, round(width * a / peak))
-        bar_b = "=" * max(1 if b > 0 else 0, round(width * b / peak))
+        bar_a = "#" * max(1 if a > 0 else 0,
+                          round(width * a / peak) if a > 0 else 0)
+        bar_b = "=" * max(1 if b > 0 else 0,
+                          round(width * b / peak) if b > 0 else 0)
         lines.append(f"{label:<{label_width}} |{bar_a:<{width}} {a:,.2f}{unit}")
         lines.append(f"{'':<{label_width}} |{bar_b:<{width}} {b:,.2f}{unit}")
     return "\n".join(lines)
@@ -67,6 +75,11 @@ def series_plot(points: Sequence[Tuple[float, float]], title: str = "",
     reference line (e.g. the y=1.0 crossover of Figure 10)."""
     if not points:
         return title
+    # Degenerate canvases (height < 2 rows, or a width too narrow for
+    # the axis caption) would divide by zero / feed negative widths to
+    # the format spec; clamp instead of crashing.
+    height = max(2, height)
+    width = max(18, width)
     xs = [x for x, _ in points]
     ys = [y for _, y in points]
     y_min = min(ys + ([y_reference] if y_reference is not None else []))
@@ -104,11 +117,15 @@ def table(headers: Sequence[str], rows: Sequence[Sequence[object]],
           title: str = "") -> str:
     """A simple aligned text table."""
     cells = [[str(c) for c in row] for row in rows]
-    widths = [max(len(h), *(len(row[i]) for row in cells)) if cells
-              else len(h) for i, h in enumerate(headers)]
+    # Ragged rows (shorter than the header) must not raise; missing
+    # cells render empty.
+    widths = [max([len(h)] + [len(row[i]) for row in cells
+                              if i < len(row)])
+              for i, h in enumerate(headers)]
     lines = [title] if title else []
     lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
     lines.append("  ".join("-" * w for w in widths))
     for row in cells:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        padded = list(row[:len(widths)]) + [""] * (len(widths) - len(row))
+        lines.append("  ".join(c.ljust(w) for c, w in zip(padded, widths)))
     return "\n".join(lines)

@@ -31,7 +31,13 @@ class SparsityPoint:
 
     @property
     def speedup(self) -> float:
-        """Dense cycles / overlay cycles (>1: overlays win)."""
+        """Dense cycles / overlay cycles (>1: overlays win).
+
+        A zero-cycle overlay run (degenerate sweep inputs) reports
+        ``inf`` rather than raising — sweeps must survive every point.
+        """
+        if self.overlay_cycles == 0:
+            return float("inf") if self.dense_cycles else 0.0
         return self.dense_cycles / self.overlay_cycles
 
 
@@ -49,7 +55,7 @@ def _matrix_with_zero_fraction(rows: int, cols: int, zero_fraction: float,
 
 
 def run_sparsity_sweep(rows: int = 128, cols: int = 128,
-                       fractions: List[float] = None,
+                       fractions: Optional[List[float]] = None,
                        seed: Optional[int] = None) -> List[SparsityPoint]:
     """Sweep the zero-line fraction from dense (0.0) to very sparse.
 
@@ -80,9 +86,11 @@ def format_sweep(points: List[SparsityPoint]) -> str:
              f"{'zero-line %':>11} {'dense cyc':>10} {'overlay cyc':>11} "
              f"{'speedup':>8} {'mem ratio':>9}"]
     for p in points:
+        mem_ratio = (f"{p.overlay_memory / p.dense_memory:>9.2f}"
+                     if p.dense_memory else f"{'n/a':>9}")
         lines.append(f"{p.zero_line_fraction:>10.0%} {p.dense_cycles:>10d} "
                      f"{p.overlay_cycles:>11d} {p.speedup:>8.2f} "
-                     f"{p.overlay_memory / p.dense_memory:>9.2f}")
+                     f"{mem_ratio}")
     monotone = all(points[i].speedup <= points[i + 1].speedup + 0.15
                    for i in range(len(points) - 1))
     lines.append("speedup grows with the zero-line fraction: "

@@ -1,0 +1,40 @@
+"""``repro.obs`` — the observability layer on top of the engine.
+
+Three capabilities, all opt-in and all deterministic under a fixed
+``rng_seed``:
+
+* **Run manifests** (:class:`~repro.obs.manifest.RunManifest`) — every
+  machine-readable result records the package version, the resolved
+  Table 2 configuration, the base RNG seed, and wall/duration metadata;
+* **Event tracing** (:class:`~repro.obs.trace.Tracer`,
+  :func:`~repro.obs.trace.tracing_session`) — a bounded ring buffer fed
+  by the engine's hook points (clock advances, port transactions,
+  TLB/OMS/coherence events), exported as JSONL or Chrome trace format
+  for ``chrome://tracing``;
+* **Stats export** (:func:`~repro.obs.export.stats_to_dict`,
+  :func:`~repro.obs.export.emit_run`,
+  :func:`~repro.obs.export.benchmark_run`) — the engine's hierarchical
+  stats registry serialised to ``results/*.json`` next to the ASCII
+  outputs, validated against :data:`~repro.obs.schema.RUN_SCHEMA` by
+  ``python -m repro.obs validate``.
+
+When no tracer is installed the engine's hook sites are a single
+attribute check: tracing off adds zero simulated cycles and zero
+allocations to the hot path (asserted by ``tests/test_obs.py``).
+"""
+
+from .export import (BenchmarkRun, benchmark_run, default_results_dir,
+                     emit_run, run_document, stats_to_dict, write_json)
+from .manifest import MANIFEST_FORMAT, RunManifest
+from .schema import (MANIFEST_SCHEMA, RUN_SCHEMA, STATS_SCHEMA, SchemaError,
+                     schema_errors, validate_manifest, validate_run)
+from .trace import DEFAULT_CAPACITY, TraceEvent, Tracer, tracing_session
+
+__all__ = [
+    "BenchmarkRun", "benchmark_run", "default_results_dir",
+    "emit_run", "run_document", "stats_to_dict", "write_json",
+    "MANIFEST_FORMAT", "RunManifest",
+    "MANIFEST_SCHEMA", "RUN_SCHEMA", "STATS_SCHEMA", "SchemaError",
+    "schema_errors", "validate_manifest", "validate_run",
+    "DEFAULT_CAPACITY", "TraceEvent", "Tracer", "tracing_session",
+]

@@ -1,0 +1,79 @@
+"""Validate machine-readable result artifacts against their schemas.
+
+Usage::
+
+    python -m repro.obs validate results/*.json
+
+Trace files (``*.trace.json``) are checked for well-formed Chrome trace
+structure; every other file must be a full run document (manifest +
+data).  Exits non-zero on the first batch of failures — this is the CI
+gate for uploaded artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from .schema import schema_errors, RUN_SCHEMA
+
+_CHROME_TRACE_SCHEMA = {
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "ts", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "ph": {"type": "string"},
+                    "ts": {"type": "number"},
+                    "pid": {"type": "integer"},
+                    "tid": {"type": "integer"},
+                },
+            },
+        },
+    },
+}
+
+
+def validate_file(path: Path) -> List[str]:
+    """Schema problems in *path* (empty list: valid)."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"unreadable: {error}"]
+    schema = (_CHROME_TRACE_SCHEMA if path.name.endswith(".trace.json")
+              else RUN_SCHEMA)
+    return schema_errors(doc, schema)
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] != "validate" or len(args) < 2:
+        print(__doc__)
+        return 2
+    failures = 0
+    for name in args[1:]:
+        path = Path(name)
+        problems = validate_file(path)
+        if problems:
+            failures += 1
+            print(f"FAIL {path}")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"ok   {path}")
+    if failures:
+        print(f"{failures} of {len(args) - 1} artifact(s) failed validation")
+        return 1
+    print(f"{len(args) - 1} artifact(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""Writing machine-readable run artifacts next to the ASCII outputs.
+
+Every harness keeps printing exactly the text it always printed (the
+committed ``results/*.txt`` stay byte-identical); this module adds the
+JSON sibling: ``results/<run>.json`` holding ``{"manifest", "data",
+"stats"}`` and — when tracing is armed — ``results/<run>.trace.json``
+in Chrome trace format.
+
+Two entry points:
+
+* :func:`emit_run` — the one-shot writer the CLI uses;
+* :func:`benchmark_run` — a context manager wrapping a benchmark's
+  ``main()``: it opens a manifest, arms a tracer when ``REPRO_TRACE``
+  is set in the environment, and writes the artifacts on exit.  The
+  results directory defaults to ``./results`` (benchmarks run from the
+  repository root) and is overridable via ``REPRO_RESULTS_DIR``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..config import SystemConfig
+from ..engine.stats import StatsRegistry
+from .manifest import RunManifest
+from .trace import DEFAULT_CAPACITY, Tracer, tracing_session
+
+#: Environment knobs benchmarks honour (the CLI has real flags).
+RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+TRACE_ENV = "REPRO_TRACE"
+
+
+def default_results_dir() -> Path:
+    """``$REPRO_RESULTS_DIR`` if set, else ``./results``."""
+    return Path(os.environ.get(RESULTS_DIR_ENV) or "results")
+
+
+def stats_to_dict(source) -> Optional[Dict[str, Any]]:
+    """A JSON-ready stats tree from a registry or any component/system.
+
+    Accepts a :class:`~repro.engine.stats.StatsRegistry`, anything with
+    a ``stats_scope`` (a :class:`~repro.engine.Component`, including the
+    ``OverlaySystem`` facade), or ``None`` (passed through, for runs
+    with no machine to report on).
+    """
+    if source is None:
+        return None
+    scope = getattr(source, "stats_scope", source)
+    if not isinstance(scope, StatsRegistry):
+        raise TypeError(f"cannot extract stats from {type(source).__name__}; "
+                        f"pass a StatsRegistry or a component owning one")
+    return scope.to_dict()
+
+
+def run_document(manifest: RunManifest, data: Any,
+                 stats: Any = None) -> Dict[str, Any]:
+    """Assemble the ``results/*.json`` document."""
+    return {
+        "manifest": manifest.to_dict(),
+        "data": data,
+        "stats": stats_to_dict(stats),
+    }
+
+
+def write_json(path, doc: Dict[str, Any]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def emit_run(name: str, data: Any, *, stats: Any = None,
+             config: Optional[SystemConfig] = None,
+             seed: Optional[int] = None,
+             manifest: Optional[RunManifest] = None,
+             tracer: Optional[Tracer] = None,
+             results_dir=None) -> Path:
+    """Write ``<results_dir>/<name>.json`` (and ``.trace.json``).
+
+    Returns the path of the main document.  *manifest* defaults to a
+    fresh one (zero duration); pass the one opened at run start to get
+    a real duration.
+    """
+    results_dir = Path(results_dir) if results_dir is not None \
+        else default_results_dir()
+    if manifest is None:
+        manifest = RunManifest.create(name, config=config, seed=seed)
+    manifest.finish()
+    path = write_json(results_dir / f"{name}.json",
+                      run_document(manifest, data, stats))
+    if tracer is not None:
+        results_dir.mkdir(parents=True, exist_ok=True)
+        tracer.write_chrome_trace(results_dir / f"{name}.trace.json")
+    return path
+
+
+class BenchmarkRun:
+    """The handle :func:`benchmark_run` yields to a benchmark body."""
+
+    def __init__(self, name: str, manifest: RunManifest,
+                 tracer: Optional[Tracer]):
+        self.name = name
+        self.manifest = manifest
+        self.tracer = tracer
+        self.data: Dict[str, Any] = {}
+        self._stats_source = None
+
+    def record(self, **values: Any) -> "BenchmarkRun":
+        """Merge structured result values into the run's data payload."""
+        self.data.update(values)
+        return self
+
+    def attach_stats(self, source) -> "BenchmarkRun":
+        """Snapshot *source*'s stats tree into the document on exit."""
+        self._stats_source = source
+        return self
+
+
+@contextmanager
+def benchmark_run(name: str, *, config: Optional[SystemConfig] = None,
+                  seed: Optional[int] = None, results_dir=None,
+                  capacity: int = DEFAULT_CAPACITY):
+    """Wrap a benchmark ``main()``: manifest in, artifacts out.
+
+    Tracing is armed for the block iff ``REPRO_TRACE`` is set (to
+    anything non-empty); the event stream then lands in
+    ``results/<name>.trace.json``.  The JSON document is only written
+    when the body completes — a crashed run must not overwrite a good
+    artifact.
+    """
+    manifest = RunManifest.create(name, config=config, seed=seed)
+    run: BenchmarkRun
+    if os.environ.get(TRACE_ENV):
+        with tracing_session(capacity) as tracer:
+            run = BenchmarkRun(name, manifest, tracer)
+            yield run
+    else:
+        run = BenchmarkRun(name, manifest, None)
+        yield run
+    emit_run(name, run.data, stats=run._stats_source, manifest=manifest,
+             tracer=run.tracer, results_dir=results_dir)

@@ -1,0 +1,127 @@
+"""Machine-readable result schemas and a dependency-free validator.
+
+The container has no ``jsonschema`` package, so this module implements
+the small subset of JSON Schema the manifests need — ``type``,
+``required``, ``properties``, ``items``, ``enum``, ``minimum`` — as a
+recursive checker that reports *every* violation with its JSON path.
+CI uses it (via ``python -m repro.obs validate``) to gate the artifacts
+benchmarks upload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Schema of the ``manifest`` object embedded in every result document.
+MANIFEST_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["run", "package", "format", "version", "rng_seed",
+                 "config", "python", "platform", "started_at"],
+    "properties": {
+        "run": {"type": "string"},
+        "package": {"type": "string", "enum": ["repro"]},
+        "format": {"type": "integer", "minimum": 1},
+        "version": {"type": "string"},
+        "rng_seed": {"type": "integer"},
+        "config": {"type": "object"},
+        "python": {"type": "string"},
+        "platform": {"type": "string"},
+        "started_at": {"type": "string"},
+        "duration_seconds": {"type": ["number", "null"]},
+    },
+}
+
+#: Schema of one ``results/*.json`` document: manifest + data payload,
+#: with an optional engine stats tree (scopes nest under "children").
+STATS_SCHEMA: Dict[str, Any] = {
+    "type": ["object", "null"],
+    "required": ["name", "scalars", "blocks", "children"],
+    "properties": {
+        "name": {"type": "string"},
+        "scalars": {"type": "object"},
+        "blocks": {"type": "object"},
+        "children": {"type": "array"},
+    },
+}
+
+RUN_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["manifest", "data"],
+    "properties": {
+        "manifest": MANIFEST_SCHEMA,
+        "data": {},
+        "stats": STATS_SCHEMA,
+    },
+}
+
+
+class SchemaError(ValueError):
+    """Raised when a document does not match its schema."""
+
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    expected = _TYPES[name]
+    if isinstance(value, bool) and name in ("integer", "number"):
+        return False
+    return isinstance(value, expected)
+
+
+def schema_errors(doc: Any, schema: Dict[str, Any],
+                  path: str = "$") -> List[str]:
+    """Every violation of *schema* in *doc*, as ``path: problem`` lines."""
+    errors: List[str] = []
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_type_ok(doc, name) for name in names):
+            errors.append(f"{path}: expected {' or '.join(names)}, "
+                          f"got {type(doc).__name__}")
+            return errors
+    if doc is None:
+        return errors
+    if "enum" in schema and doc not in schema["enum"]:
+        errors.append(f"{path}: {doc!r} not in {schema['enum']!r}")
+    if "minimum" in schema and isinstance(doc, (int, float)) \
+            and not isinstance(doc, bool) and doc < schema["minimum"]:
+        errors.append(f"{path}: {doc!r} below minimum {schema['minimum']!r}")
+    if isinstance(doc, dict):
+        for key in schema.get("required", []):
+            if key not in doc:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in doc and sub:
+                errors.extend(schema_errors(doc[key], sub, f"{path}.{key}"))
+    if isinstance(doc, list) and "items" in schema:
+        for index, item in enumerate(doc):
+            errors.extend(schema_errors(item, schema["items"],
+                                        f"{path}[{index}]"))
+    return errors
+
+
+def validate(doc: Any, schema: Dict[str, Any], label: str = "document") -> None:
+    """Raise :class:`SchemaError` listing every violation, if any."""
+    errors = schema_errors(doc, schema)
+    if errors:
+        raise SchemaError(f"{label} fails schema validation:\n  "
+                          + "\n  ".join(errors))
+
+
+def validate_manifest(doc: Dict[str, Any]) -> None:
+    """Check a bare manifest object."""
+    validate(doc, MANIFEST_SCHEMA, "manifest")
+
+
+def validate_run(doc: Dict[str, Any]) -> None:
+    """Check a full ``results/*.json`` document (manifest + data)."""
+    validate(doc, RUN_SCHEMA, "run document")

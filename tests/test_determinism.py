@@ -15,6 +15,7 @@ from repro.cpu.core import Core
 from repro.cpu.trace import Trace
 from repro.engine.rng import derive_rng, resolve_seed
 from repro.eval.sparsity_sweep import run_sparsity_sweep
+from repro.obs import RunManifest, tracing_session
 from repro.osmodel.kernel import Kernel
 from repro.sparse.matrix_gen import (generate_with_locality, locality_sweep,
                                      realworld_like_suite)
@@ -61,6 +62,31 @@ class TestByteIdenticalRuns:
                 == Trace.random_in_region(0, 4096, 100).accesses)
         assert (Trace.zipf_pages(0, pages=8, count=100).accesses
                 == Trace.zipf_pages(0, pages=8, count=100).accesses)
+
+
+class TestObservabilityDeterminism:
+    """The obs layer must not weaken the byte-identical guarantee."""
+
+    @staticmethod
+    def _traced_snapshot():
+        with tracing_session() as tracer:
+            snapshot = _full_system_snapshot()
+        return snapshot, tracer.to_jsonl()
+
+    def test_event_trace_is_byte_identical_across_runs(self):
+        first_snapshot, first_trace = self._traced_snapshot()
+        second_snapshot, second_trace = self._traced_snapshot()
+        assert first_trace and first_trace == second_trace
+        assert first_snapshot == second_snapshot
+
+    def test_tracing_does_not_perturb_the_simulation(self):
+        untraced = _full_system_snapshot()
+        traced, _ = self._traced_snapshot()
+        assert traced == untraced
+
+    def test_manifest_deterministic_fields(self):
+        assert (RunManifest.create("det").deterministic_dict()
+                == RunManifest.create("det").deterministic_dict())
 
 
 class TestInjectedRng:

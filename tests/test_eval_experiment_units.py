@@ -86,3 +86,32 @@ class TestStatRegistry:
         registry.register("block", Block())
         snapshot = registry.snapshot()
         assert snapshot["block"] == {"hits": 3, "rate": 0.5}
+
+
+class TestSpeedupGuards:
+    """Zero-cycle denominators must not crash a sweep (regression)."""
+
+    def test_sparsity_point_zero_overlay_cycles(self):
+        from repro.eval.sparsity_sweep import SparsityPoint
+        point = SparsityPoint(zero_line_fraction=1.0, dense_cycles=100,
+                              overlay_cycles=0, dense_memory=0,
+                              overlay_memory=0)
+        assert point.speedup == float("inf")
+        degenerate = SparsityPoint(zero_line_fraction=1.0, dense_cycles=0,
+                                   overlay_cycles=0, dense_memory=0,
+                                   overlay_memory=0)
+        assert degenerate.speedup == 0.0
+
+    def test_format_sweep_zero_dense_memory(self):
+        from repro.eval.sparsity_sweep import SparsityPoint, format_sweep
+        text = format_sweep([SparsityPoint(
+            zero_line_fraction=0.5, dense_cycles=10, overlay_cycles=5,
+            dense_memory=0, overlay_memory=64)])
+        assert "n/a" in text
+
+    def test_remap_latency_zero_overlay_cycles(self):
+        from repro.eval.remap_latency import RemapLatency
+        assert RemapLatency(copy_on_write_cycles=100,
+                            overlay_on_write_cycles=0).speedup == float("inf")
+        assert RemapLatency(copy_on_write_cycles=0,
+                            overlay_on_write_cycles=0).speedup == 0.0

@@ -32,6 +32,23 @@ class TestBarCharts:
         assert "#" in text and "=" in text
         assert "cow" in text and "oow" in text
 
+    def test_all_zero_rows_render_without_bars(self):
+        text = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "#" not in text
+        assert "0.00" in text
+
+    def test_all_negative_rows_render_without_bars(self):
+        # A negative peak must not flip the scaling into full-width bars.
+        text = bar_chart([("a", -3.0), ("b", -1.0)])
+        assert "#" not in text
+
+    def test_grouped_chart_all_zero_rows(self):
+        text = grouped_bar_chart([("bench", 0.0, 0.0)], series=("x", "y"))
+        bar_lines = [line for line in text.splitlines() if "|" in line]
+        assert bar_lines
+        assert all("#" not in line and "=" not in line
+                   for line in bar_lines)
+
 
 class TestSeriesPlot:
     def test_plot_contains_points_and_reference(self):
@@ -47,6 +64,16 @@ class TestSeriesPlot:
         text = series_plot([(1.0, 1.0)])
         assert "*" in text
 
+    def test_single_point_with_reference_outside_range(self):
+        text = series_plot([(2.0, 5.0)], y_reference=1.0)
+        assert "*" in text and "-" in text
+
+    def test_degenerate_canvas_is_clamped(self):
+        # height=1 used to divide by zero; tiny widths fed negative
+        # widths into the format spec.
+        text = series_plot([(0.0, 1.0), (1.0, 2.0)], height=1, width=2)
+        assert "*" in text
+
     def test_empty_points(self):
         assert series_plot([], title="t") == "t"
 
@@ -60,6 +87,16 @@ class TestTable:
     def test_empty_rows(self):
         text = table(["h1", "h2"], [])
         assert "h1" in text
+
+    def test_ragged_rows_do_not_raise(self):
+        text = table(["a", "bb", "ccc"], [["x"], ["y", "z"], []])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 5  # header + rule + 3 rows
+
+    def test_rows_longer_than_headers_are_truncated(self):
+        text = table(["only"], [["kept", "dropped"]])
+        assert "kept" in text and "dropped" not in text
 
 
 class TestCLI:
@@ -84,3 +121,27 @@ class TestCLI:
         for name, (func, description) in EXPERIMENTS.items():
             assert callable(func)
             assert description
+
+    def test_json_flag_writes_validated_artifact(self, tmp_path, capsys):
+        import json
+        from repro.obs import validate_run
+        assert cli_main(["--json", "--results-dir", str(tmp_path),
+                         "hardware-cost"]) == 0
+        doc = json.loads((tmp_path / "hardware-cost.json").read_text())
+        validate_run(doc)
+        assert doc["data"]["cost"]["omt_cache_bytes"] > 0
+
+    def test_trace_flag_writes_trace_sibling(self, tmp_path, capsys):
+        import json
+        assert cli_main(["--trace", "--results-dir", str(tmp_path),
+                         "remap-latency"]) == 0
+        trace = json.loads(
+            (tmp_path / "remap-latency.trace.json").read_text())
+        assert trace["traceEvents"]
+
+    def test_unknown_option_rejected(self, capsys):
+        assert cli_main(["--bogus"]) == 2
+        assert "unknown option" in capsys.readouterr().out
+
+    def test_results_dir_requires_argument(self, capsys):
+        assert cli_main(["--results-dir"]) == 2
