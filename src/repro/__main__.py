@@ -8,14 +8,28 @@ Usage::
     python -m repro all                      # everything (several minutes)
     python -m repro --json figure8           # also write results/figure8.json
     python -m repro --json --trace remap-latency   # + results/*.trace.json
+    python -m repro --metrics figure9        # + results/figure9.metrics.json
+    python -m repro --profile figure9        # + results/figure9.profile.json
 
 Options:
     --json             write a machine-readable results/<name>.json
                        (manifest + data) next to the printed output
     --trace            arm the engine event tracer for each experiment
                        and write results/<name>.trace.json (implies --json)
+    --metrics          sample the stats tree every epoch of simulated
+                       cycles and write results/<name>.metrics.json with
+                       a sparkline summary on stdout (implies --json)
+    --metrics-interval N
+                       epoch length in simulated cycles (default 1000;
+                       implies --metrics)
+    --profile          attribute simulated cycles to components and
+                       write results/<name>.profile.json plus the
+                       where-did-the-cycles-go tree (implies --json)
     --results-dir DIR  directory for the JSON artifacts (default:
                        ./results, or $REPRO_RESULTS_DIR)
+
+Running ``all`` with ``--json`` additionally writes results/cli_all.json
+aggregating every experiment's data payload into one document.
 """
 
 from __future__ import annotations
@@ -108,29 +122,68 @@ EXPERIMENTS = {
 }
 
 
-def _run_one(target: str, emit_json: bool, trace: bool,
-             results_dir) -> None:
-    """Run one experiment, optionally capturing trace + JSON artifacts."""
+def _run_one(target: str, emit_json: bool, trace: bool, results_dir,
+             metrics_interval=None, profile: bool = False):
+    """Run one experiment, optionally capturing observability artifacts.
+
+    Returns the experiment's data payload (for ``all`` aggregation).
+    """
+    runner = EXPERIMENTS[target][0]
     if not emit_json:
-        EXPERIMENTS[target][0]()
-        return
-    from .obs import RunManifest, emit_run, tracing_session
+        return runner()
+    from contextlib import ExitStack
+
+    from .engine.tracing import (SamplerFanout, install_sampler,
+                                 uninstall_sampler)
+    from .obs import (MetricsSampler, ProfileAccumulator, RunManifest,
+                      WallClockProfiler, emit_run, format_metrics,
+                      format_profile, metrics_document, tracing_session,
+                      write_metrics, write_profile)
     manifest = RunManifest.create(target)
+    sampler = (MetricsSampler(interval=metrics_interval)
+               if metrics_interval else None)
+    accumulator = ProfileAccumulator() if profile else None
+    wall = WallClockProfiler() if profile else None
+    recorders = [r for r in (sampler, accumulator) if r is not None]
     tracer = None
-    if trace:
-        with tracing_session() as tracer:
-            data = EXPERIMENTS[target][0]()
-    else:
-        data = EXPERIMENTS[target][0]()
+    with ExitStack() as stack:
+        if recorders:
+            install_sampler(recorders[0] if len(recorders) == 1
+                            else SamplerFanout(*recorders))
+            stack.callback(uninstall_sampler)
+        if trace:
+            tracer = stack.enter_context(tracing_session())
+        if wall is not None:
+            with wall.section("simulate"):
+                data = runner()
+        else:
+            data = runner()
     path = emit_run(target, data, manifest=manifest, tracer=tracer,
                     results_dir=results_dir)
     print(f"[wrote {path}]")
+    if sampler is not None:
+        print(format_metrics(metrics_document(target, sampler),
+                             max_series=8))
+        metrics_path = write_metrics(target, sampler,
+                                     results_dir=results_dir)
+        print(f"[wrote {metrics_path}]")
+    if accumulator is not None:
+        node = accumulator.finish()
+        if node is not None:
+            print(format_profile(node, wall=wall.to_dict()))
+        profile_path = write_profile(target, node, wall=wall,
+                                     systems=accumulator.systems,
+                                     results_dir=results_dir)
+        print(f"[wrote {profile_path}]")
+    return data
 
 
 def main(argv=None):
     args = list(sys.argv[1:] if argv is None else argv)
     emit_json = False
     trace = False
+    profile = False
+    metrics_interval = None
     results_dir = None
     targets = []
     i = 0
@@ -140,6 +193,28 @@ def main(argv=None):
             emit_json = True
         elif arg == "--trace":
             trace = emit_json = True
+        elif arg == "--metrics":
+            emit_json = True
+            if metrics_interval is None:
+                from .obs import DEFAULT_INTERVAL
+                metrics_interval = DEFAULT_INTERVAL
+        elif arg == "--metrics-interval":
+            i += 1
+            if i >= len(args):
+                print("--metrics-interval requires a cycle count")
+                return 2
+            try:
+                metrics_interval = int(args[i])
+            except ValueError:
+                print(f"--metrics-interval needs an integer, "
+                      f"got {args[i]!r}")
+                return 2
+            if metrics_interval <= 0:
+                print("--metrics-interval must be positive")
+                return 2
+            emit_json = True
+        elif arg == "--profile":
+            profile = emit_json = True
         elif arg == "--results-dir":
             i += 1
             if i >= len(args):
@@ -158,22 +233,31 @@ def main(argv=None):
         for name, (_, description) in EXPERIMENTS.items():
             print(f"  {name:<14} {description}")
         return 0
-    if targets == ["all"]:
+    run_all = targets == ["all"]
+    if run_all:
         targets = list(EXPERIMENTS)
     unknown = [t for t in targets if t not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}; "
               f"try `python -m repro list`")
         return 2
+    aggregated = {}
     for i, target in enumerate(targets):
         if i:
             print("\n" + "=" * 72 + "\n")
         # Wall-clock here times the *harness*, not the simulation; the
         # simulated timeline comes solely from SimClock.
         started = time.time()  # simlint: disable=SL001
-        _run_one(target, emit_json, trace, results_dir)
+        aggregated[target] = _run_one(target, emit_json, trace, results_dir,
+                                      metrics_interval=metrics_interval,
+                                      profile=profile)
         elapsed = time.time() - started  # simlint: disable=SL001
         print(f"[{target} done in {elapsed:.1f}s]")
+    if run_all and emit_json:
+        from .obs import emit_run
+        path = emit_run("cli_all", {"experiments": aggregated},
+                        results_dir=results_dir)
+        print(f"[wrote {path}]")
     return 0
 
 

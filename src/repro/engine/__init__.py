@@ -34,7 +34,7 @@ from .port import (FetchPort, MissPort, MissResolution, Port, PortError,
 from .stats import Counter, Gauge, StatsError, StatsRegistry, merge_blocks, snapshot_block
 from .builder import SystemBuilder
 from .rng import derive_rng, resolve_seed
-from .tracing import TraceError, TraceSink
+from .tracing import CycleSampler, TraceError, TraceSink
 
 __all__ = [
     "ClockCursor", "ClockError", "SimClock",
@@ -45,5 +45,5 @@ __all__ = [
     "merge_blocks", "snapshot_block",
     "SystemBuilder",
     "derive_rng", "resolve_seed",
-    "tracing", "TraceError", "TraceSink",
+    "tracing", "CycleSampler", "TraceError", "TraceSink",
 ]

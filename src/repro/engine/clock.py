@@ -116,6 +116,11 @@ class SimClock:
     def _observe(self, cycle: int) -> None:
         if cycle > self._peak:
             self._peak = cycle
+        # Sampling hook site: every observed time movement (global
+        # advances, cursor advances, event-driven seeks) funnels through
+        # here, so one disarmed check covers the whole timeline.
+        if HOOKS.sampler is not None:
+            HOOKS.sampler.on_cycle(cycle)
 
     # -- event-driven views --------------------------------------------------
 

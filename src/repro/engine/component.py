@@ -50,6 +50,13 @@ class Component:
         else:
             self.sim_clock = clock or SimClock()
             self.stats_scope = StatsRegistry(name)
+            # Sampling hook site: a parentless component is a fresh
+            # machine root; the sampler (if armed) binds its registry
+            # here, filtering by name so transient sub-component roots
+            # (a bare DRAM later adopted via attach_child) don't steal
+            # the binding.
+            if HOOKS.sampler is not None:
+                HOOKS.sampler.on_root(self)
 
     # -- tree management -----------------------------------------------------
 

@@ -206,6 +206,25 @@ class StatsRegistry:
                          for node in self._children.values()],
         }
 
+    def flat_paths(self, prefix: str = "") -> Dict[str, Number]:
+        """Every numeric value in the subtree, keyed by full dotted path.
+
+        Scalars (counters, gauges, own-block fields) appear as
+        ``scope.path.name``; adopted blocks contribute
+        ``scope.path.block_name.field``.  Unlike :meth:`flat`, paths are
+        unambiguous: duplicate leaf scope names in different subtrees
+        stay distinct.  This is the shape the time-series sampler and
+        the run-comparison tooling key their metrics by.
+        """
+        out: Dict[str, Number] = {}
+        for path, node in self.walk(prefix):
+            for name, value in node.scalars().items():
+                out[f"{path}.{name}"] = value
+            for block_name, block in node._blocks.items():
+                for key, value in snapshot_block(block).items():
+                    out[f"{path}.{block_name}.{key}"] = value
+        return out
+
     def flat(self) -> Dict[str, Dict[str, Number]]:
         """Legacy whole-system shape: ``{scope_name: {field: value}}``.
 

@@ -1,4 +1,4 @@
-"""Opt-in trace hooks — the engine half of the observability layer.
+r"""Opt-in trace hooks — the engine half of the observability layer.
 
 The engine *publishes* events; it never records them.  A single
 process-wide slot (:data:`HOOKS`\ ``.active``) holds the installed
@@ -8,11 +8,20 @@ pattern::
     if HOOKS.active is not None:
         HOOKS.active.emit(time, category, name, args)
 
-Hot-path contract (asserted by ``tests/test_obs.py``): with no sink
-installed the hook is one attribute load plus an ``is None`` test — no
-calls, no allocations, and no change to any simulated cycle count.
-Event *payload* dictionaries are therefore only built inside the
-guard, never before it.
+A second, independent slot (:data:`HOOKS`\ ``.sampler``) carries the
+*cycle sampler* interface for time-series metrics: the clock notifies
+the sampler whenever simulated time moves
+(:meth:`~repro.engine.clock.SimClock._observe`), and the component tree
+notifies it whenever a new root component — a fresh machine — is built
+(:meth:`~repro.engine.component.Component.init_component`).  The
+recorder (:class:`repro.obs.metrics.MetricsSampler`) decides what to
+snapshot at which epoch; the engine only publishes.
+
+Hot-path contract (asserted by ``tests/test_obs.py``): with no sink or
+sampler installed each hook is one attribute load plus an ``is None``
+test — no calls, no allocations, and no change to any simulated cycle
+count.  Event *payload* dictionaries are therefore only built inside
+the guard, never before it.
 
 The recording side (ring buffer, JSONL and Chrome-trace exporters)
 lives in :mod:`repro.obs.trace`; the engine only defines the interface
@@ -49,13 +58,46 @@ class TraceSink:
         raise NotImplementedError
 
 
-class TraceHooks:
-    """The process-wide hook slot; ``active`` is ``None`` when off."""
+class CycleSampler:
+    """Interface a time-series sampler implements.
 
-    __slots__ = ("active",)
+    ``on_cycle(cycle)`` fires whenever simulated time is observed moving
+    (clock/cursor advances and event-driven seeks); ``on_root(component)``
+    fires when a new root component — a freshly built machine — joins
+    the process, so the sampler can bind its statistics registry without
+    the harness threading it through every layer.
+    """
+
+    def on_cycle(self, cycle: int) -> None:
+        """Optional callback; the default ignores the observation."""
+
+    def on_root(self, component) -> None:
+        """Optional callback; the default ignores the new root."""
+
+
+class SamplerFanout(CycleSampler):
+    """Feed one sampler slot to several recorders (metrics + profiler)."""
+
+    def __init__(self, *samplers: CycleSampler) -> None:
+        self.samplers = list(samplers)
+
+    def on_cycle(self, cycle: int) -> None:
+        for sampler in self.samplers:
+            sampler.on_cycle(cycle)
+
+    def on_root(self, component) -> None:
+        for sampler in self.samplers:
+            sampler.on_root(component)
+
+
+class TraceHooks:
+    """The process-wide hook slots; each is ``None`` when off."""
+
+    __slots__ = ("active", "sampler")
 
     def __init__(self) -> None:
         self.active: Optional[TraceSink] = None
+        self.sampler: Optional[CycleSampler] = None
 
 
 #: The one slot every hook site reads.  Hook sites import this object
@@ -85,3 +127,27 @@ def uninstall() -> None:
 def active() -> Optional[TraceSink]:
     """The installed sink, or ``None`` when tracing is off."""
     return HOOKS.active
+
+
+def install_sampler(sampler: CycleSampler) -> CycleSampler:
+    """Arm cycle sampling: route clock/root notifications to *sampler*.
+
+    Exactly one sampler may be active (compose with a fan-out sampler to
+    feed several recorders); installing over a live one raises
+    :class:`TraceError`.
+    """
+    if HOOKS.sampler is not None:
+        raise TraceError("a cycle sampler is already installed; "
+                         "uninstall_sampler() it first")
+    HOOKS.sampler = sampler
+    return sampler
+
+
+def uninstall_sampler() -> None:
+    """Disarm cycle sampling (idempotent)."""
+    HOOKS.sampler = None
+
+
+def active_sampler() -> Optional[CycleSampler]:
+    """The installed sampler, or ``None`` when sampling is off."""
+    return HOOKS.sampler

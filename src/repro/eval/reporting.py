@@ -8,6 +8,47 @@ from typing import Optional, Sequence, Tuple
 
 BAR_WIDTH = 40
 
+#: Eight-level block ramp used by :func:`sparkline`.
+SPARK_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line unicode sparkline of *values*.
+
+    Values are scaled to the series' own min..max (a flat series renders
+    as all-low ticks); when *width* is given and the series is longer,
+    it is downsampled by bucketing (each tick shows its bucket's mean).
+    Non-finite values render as spaces.
+    """
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    if width is not None and width > 0 and len(series) > width:
+        bucketed = []
+        for i in range(width):
+            lo = i * len(series) // width
+            hi = max(lo + 1, (i + 1) * len(series) // width)
+            bucket = series[lo:hi]
+            bucketed.append(sum(bucket) / len(bucket))
+        series = bucketed
+    finite = [v for v in series if v == v and v not in (float("inf"),
+                                                        float("-inf"))]
+    if not finite:
+        return " " * len(series)
+    low, high = min(finite), max(finite)
+    span = high - low
+    ticks = []
+    for value in series:
+        if value != value or value in (float("inf"), float("-inf")):
+            ticks.append(" ")
+            continue
+        if span == 0:
+            ticks.append(SPARK_TICKS[0])
+            continue
+        level = int((value - low) / span * (len(SPARK_TICKS) - 1))
+        ticks.append(SPARK_TICKS[level])
+    return "".join(ticks)
+
 
 def aggregate_core_stats(runs: Sequence) -> "object":
     """Merge per-core/per-run :class:`~repro.cpu.core.CoreStats` into one

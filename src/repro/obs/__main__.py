@@ -1,13 +1,28 @@
-"""Validate machine-readable result artifacts against their schemas.
+"""Observability toolbox over result artifacts.
 
 Usage::
 
     python -m repro.obs validate results/*.json
+    python -m repro.obs compare baseline.json fresh.json \\
+        [--threshold PCT] [--thresholds PATTERN=PCT ...] \\
+        [--fail-on-missing] [--show-all]
+    python -m repro.obs report results/run.metrics.json [...]
 
-Trace files (``*.trace.json``) are checked for well-formed Chrome trace
-structure; every other file must be a full run document (manifest +
-data).  Exits non-zero on the first batch of failures — this is the CI
-gate for uploaded artifacts.
+``validate`` routes each file by suffix — ``*.trace.json`` to the
+Chrome-trace shape, ``*.metrics.json`` to the time-series schema,
+``*.profile.json`` to the cycle-accounting schema, everything else to
+the full run-document schema — and exits nonzero if any artifact fails;
+this is the CI gate for uploaded artifacts.
+
+``compare`` prints a differential report of two documents' numeric
+leaves (environment sections excluded) and exits nonzero when any
+delta exceeds its threshold — this is the CI perf gate.  Thresholds
+are percent; ``--thresholds`` patterns match dotted metric paths,
+first match wins, ``--threshold`` sets the default (0: byte-exact).
+
+``report`` pretty-prints an artifact: sparkline series for metrics
+documents, the where-did-the-cycles-go tree for profile documents,
+and the flattened metric table for plain run documents.
 """
 
 from __future__ import annotations
@@ -17,7 +32,11 @@ import sys
 from pathlib import Path
 from typing import List
 
-from .schema import schema_errors, RUN_SCHEMA
+from .compare import (compare_files, flatten_document, format_compare,
+                      parse_threshold_specs)
+from .metrics import format_metrics
+from .profile import format_profile
+from .schema import METRICS_SCHEMA, PROFILE_SCHEMA, RUN_SCHEMA, schema_errors
 
 _CHROME_TRACE_SCHEMA = {
     "type": "object",
@@ -41,24 +60,32 @@ _CHROME_TRACE_SCHEMA = {
 }
 
 
+def schema_for(path: Path):
+    """The schema an artifact must satisfy, routed by filename suffix."""
+    if path.name.endswith(".trace.json"):
+        return _CHROME_TRACE_SCHEMA
+    if path.name.endswith(".metrics.json"):
+        return METRICS_SCHEMA
+    if path.name.endswith(".profile.json"):
+        return PROFILE_SCHEMA
+    return RUN_SCHEMA
+
+
 def validate_file(path: Path) -> List[str]:
     """Schema problems in *path* (empty list: valid)."""
     try:
         doc = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as error:
         return [f"unreadable: {error}"]
-    schema = (_CHROME_TRACE_SCHEMA if path.name.endswith(".trace.json")
-              else RUN_SCHEMA)
-    return schema_errors(doc, schema)
+    return schema_errors(doc, schema_for(path))
 
 
-def main(argv=None) -> int:
-    args = list(sys.argv[1:] if argv is None else argv)
-    if not args or args[0] != "validate" or len(args) < 2:
+def _cmd_validate(args: List[str]) -> int:
+    if not args:
         print(__doc__)
         return 2
     failures = 0
-    for name in args[1:]:
+    for name in args:
         path = Path(name)
         problems = validate_file(path)
         if problems:
@@ -69,10 +96,112 @@ def main(argv=None) -> int:
         else:
             print(f"ok   {path}")
     if failures:
-        print(f"{failures} of {len(args) - 1} artifact(s) failed validation")
+        print(f"{failures} of {len(args)} artifact(s) failed validation")
         return 1
-    print(f"{len(args) - 1} artifact(s) valid")
+    print(f"{len(args)} artifact(s) valid")
     return 0
+
+
+def _looks_numeric(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True
+
+
+def _cmd_compare(args: List[str]) -> int:
+    files: List[str] = []
+    specs: List[str] = []
+    default = 0.0
+    fail_on_missing = show_all = False
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        index += 1
+        if arg == "--threshold":
+            if index >= len(args):
+                print(f"--threshold needs a value\n{__doc__}")
+                return 2
+            default = float(args[index])
+            index += 1
+        elif arg == "--thresholds":
+            # Consume the following spec-shaped tokens (pattern=pct or a
+            # bare percent); filenames are left for the positionals.
+            while index < len(args) and not args[index].startswith("--") \
+                    and ("=" in args[index]
+                         or _looks_numeric(args[index])):
+                specs.append(args[index])
+                index += 1
+        elif arg == "--fail-on-missing":
+            fail_on_missing = True
+        elif arg == "--show-all":
+            show_all = True
+        elif arg.startswith("--"):
+            print(f"unknown flag {arg}\n{__doc__}")
+            return 2
+        else:
+            files.append(arg)
+    if len(files) != 2:
+        print(__doc__)
+        return 2
+    try:
+        result = compare_files(files[0], files[1],
+                               thresholds=parse_threshold_specs(specs),
+                               default_threshold=default,
+                               fail_on_missing=fail_on_missing)
+    except (OSError, json.JSONDecodeError, ValueError) as error:
+        print(f"compare failed: {error}")
+        return 2
+    print(format_compare(result, show_all=show_all))
+    return 0 if result.ok else 1
+
+
+def _report_one(path: Path) -> int:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"unreadable {path}: {error}")
+        return 1
+    print(f"== {path} ==")
+    if path.name.endswith(".metrics.json"):
+        print(format_metrics(doc))
+    elif path.name.endswith(".profile.json"):
+        if doc.get("profile") is None:
+            print("(no cycles attributed)")
+        else:
+            print(format_profile(doc["profile"], wall=doc.get("wall")))
+    else:
+        from ..eval.reporting import table
+        flat = flatten_document(doc)
+        run = doc.get("manifest", {}).get("run", path.stem)
+        rows = [[key, f"{value:,g}"] for key, value in flat.items()]
+        print(table(["metric", "value"], rows,
+                    title=f"run {run}: {len(flat)} metric(s)"))
+    return 0
+
+
+def _cmd_report(args: List[str]) -> int:
+    if not args:
+        print(__doc__)
+        return 2
+    failures = sum(_report_one(Path(name)) for name in args)
+    return 1 if failures else 0
+
+
+_COMMANDS = {
+    "validate": _cmd_validate,
+    "compare": _cmd_compare,
+    "report": _cmd_report,
+}
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] not in _COMMANDS:
+        print(__doc__)
+        return 2
+    return _COMMANDS[args[0]](args[1:])
 
 
 if __name__ == "__main__":

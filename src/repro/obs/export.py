@@ -44,26 +44,50 @@ def stats_to_dict(source) -> Optional[Dict[str, Any]]:
 
     Accepts a :class:`~repro.engine.stats.StatsRegistry`, anything with
     a ``stats_scope`` (a :class:`~repro.engine.Component`, including the
-    ``OverlaySystem`` facade), or ``None`` (passed through, for runs
-    with no machine to report on).
+    ``OverlaySystem`` facade), a plain nested dict (an already-exported
+    tree passes through untouched, so documents can be re-emitted), or
+    ``None`` (passed through, for runs with no machine to report on).
     """
     if source is None:
         return None
-    scope = getattr(source, "stats_scope", source)
-    if not isinstance(scope, StatsRegistry):
-        raise TypeError(f"cannot extract stats from {type(source).__name__}; "
-                        f"pass a StatsRegistry or a component owning one")
-    return scope.to_dict()
+    if isinstance(source, StatsRegistry):
+        return source.to_dict()
+    if isinstance(source, dict):
+        return source
+    scope = getattr(source, "stats_scope", None)
+    if isinstance(scope, StatsRegistry):
+        return scope.to_dict()
+    if isinstance(scope, dict):
+        return scope
+    if scope is not None:
+        raise TypeError(
+            f"cannot extract stats from {type(source).__name__}: its "
+            f"'stats_scope' attribute is a {type(scope).__name__}, not a "
+            f"StatsRegistry or dict")
+    raise TypeError(
+        f"cannot extract stats from {type(source).__name__}: it has no "
+        f"'stats_scope' attribute; pass a StatsRegistry, a component "
+        f"owning one, or an exported stats dict")
 
 
-def run_document(manifest: RunManifest, data: Any,
-                 stats: Any = None) -> Dict[str, Any]:
-    """Assemble the ``results/*.json`` document."""
-    return {
+def run_document(manifest: RunManifest, data: Any, stats: Any = None,
+                 tracer: Optional[Tracer] = None) -> Dict[str, Any]:
+    """Assemble the ``results/*.json`` document.
+
+    When the run was traced and the ring buffer overflowed, the document
+    records ``{"trace": {"dropped", "capacity"}}`` so a reader of the
+    artifact knows the event stream is incomplete (and what capacity to
+    re-run with).
+    """
+    doc = {
         "manifest": manifest.to_dict(),
         "data": data,
         "stats": stats_to_dict(stats),
     }
+    if tracer is not None and tracer.dropped > 0:
+        doc["trace"] = {"dropped": tracer.dropped,
+                        "capacity": tracer.capacity}
+    return doc
 
 
 def write_json(path, doc: Dict[str, Any]) -> Path:
@@ -91,8 +115,12 @@ def emit_run(name: str, data: Any, *, stats: Any = None,
         manifest = RunManifest.create(name, config=config, seed=seed)
     manifest.finish()
     path = write_json(results_dir / f"{name}.json",
-                      run_document(manifest, data, stats))
+                      run_document(manifest, data, stats, tracer=tracer))
     if tracer is not None:
+        if tracer.dropped > 0:
+            print(f"[trace ring buffer overflowed: {tracer.dropped} "
+                  f"event(s) dropped at capacity {tracer.capacity}; "
+                  f"re-run with a larger capacity for a complete stream]")
         results_dir.mkdir(parents=True, exist_ok=True)
         tracer.write_chrome_trace(results_dir / f"{name}.trace.json")
     return path

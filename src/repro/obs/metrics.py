@@ -1,0 +1,280 @@
+"""Epoch-based time-series sampling of the engine's statistics tree.
+
+:class:`MetricsSampler` is the second observability tier: instead of one
+end-of-run stats total, it snapshots a configurable set of
+:class:`~repro.engine.stats.StatsRegistry` scalars every *interval*
+simulated cycles, producing the per-phase series the paper's
+where-do-the-cycles-go arguments need (and the cross-run comparison
+tooling in :mod:`repro.obs.compare` consumes).
+
+It plugs into the engine through the second
+:data:`~repro.engine.tracing.HOOKS` slot (``HOOKS.sampler``):
+
+* :meth:`~MetricsSampler.on_cycle` fires from
+  :meth:`SimClock._observe <repro.engine.clock.SimClock._observe>` on
+  every observed time movement; the sampler takes a snapshot whenever
+  the timeline crosses the next epoch boundary;
+* :meth:`~MetricsSampler.on_root` fires when a fresh machine root is
+  built, which is how the sampler binds the live registry without the
+  harness threading it through every layer.  Harnesses that build many
+  machines (the fork suite, the SpMV sweep) produce one *segment* per
+  machine, each with its own epoch timeline.
+
+Disarmed cost is the engine's usual contract: one attribute load plus
+an ``is None`` test per hook site, zero allocations (asserted with
+``tracemalloc`` by ``tests/test_obs.py``).  Armed, the sampler never
+changes simulated time — it only reads counters — so a sampled run's
+printed output stays byte-identical.
+
+The artifact (``results/<run>.metrics.json``) and its ASCII rendering
+(:func:`format_metrics`, sparklines drawn by
+:func:`repro.eval.reporting.sparkline`) are deterministic under a fixed
+``rng_seed``: epochs are simulated cycles, never wall-clock.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..engine import tracing
+from ..engine.stats import StatsRegistry
+from .manifest import RunManifest
+
+#: Default epoch length in simulated cycles.
+DEFAULT_INTERVAL = 1000
+
+#: Default bound on retained samples across all segments; samples past
+#: the bound are counted in ``dropped`` instead of growing without
+#: limit (the first ``capacity`` samples are kept — a time series wants
+#: its origin).
+DEFAULT_SAMPLE_CAPACITY = 4096
+
+#: Root component name the sampler binds to (transient sub-component
+#: roots that are later adopted via ``attach_child`` never match).
+DEFAULT_ROOT = "system"
+
+
+@dataclass
+class MetricsSample:
+    """One epoch snapshot of the selected scalars."""
+
+    cycle: int
+    epoch: int
+    values: Dict[str, float]
+
+
+@dataclass
+class MetricsSegment:
+    """All samples taken from one bound machine root."""
+
+    system: str
+    samples: List[MetricsSample] = field(default_factory=list)
+
+    def series(self) -> Dict[str, List[float]]:
+        """Per-metric value series, ordered by sample (missing: 0)."""
+        paths: List[str] = []
+        seen = set()
+        for sample in self.samples:
+            for path in sample.values:
+                if path not in seen:
+                    seen.add(path)
+                    paths.append(path)
+        return {path: [sample.values.get(path, 0) for sample in self.samples]
+                for path in paths}
+
+
+class MetricsSampler(tracing.CycleSampler):
+    """Snapshot registry scalars every *interval* simulated cycles.
+
+    Parameters
+    ----------
+    interval:
+        Epoch length in simulated cycles; a snapshot is taken the first
+        time the timeline is observed at or past each epoch boundary.
+    select:
+        Optional ``fnmatch`` patterns over full dotted scalar paths
+        (e.g. ``"system.dram.*"``, ``"*.misses"``); ``None`` samples
+        every numeric value in the tree.
+    registry:
+        Bind a registry up front (library/test use).  When armed via
+        :func:`metrics_session`, machines bind themselves through the
+        engine's root hook instead.
+    root_name:
+        Component name of the machine roots to bind (default
+        ``"system"``, the :class:`~repro.core.framework.OverlaySystem`
+        root).
+    capacity:
+        Total retained-sample bound across segments; excess samples are
+        dropped (and counted) rather than growing without limit.
+    """
+
+    def __init__(self, interval: int = DEFAULT_INTERVAL,
+                 select: Optional[Sequence[str]] = None,
+                 registry: Optional[StatsRegistry] = None,
+                 root_name: str = DEFAULT_ROOT,
+                 capacity: int = DEFAULT_SAMPLE_CAPACITY):
+        if interval <= 0:
+            raise ValueError(f"sampling interval must be positive: {interval}")
+        if capacity <= 0:
+            raise ValueError(f"sample capacity must be positive: {capacity}")
+        self.interval = interval
+        self.select = list(select) if select else None
+        self.root_name = root_name
+        self.capacity = capacity
+        self.dropped = 0
+        self.segments: List[MetricsSegment] = []
+        self._registry: Optional[StatsRegistry] = None
+        self._next = interval
+        self._retained = 0
+        if registry is not None:
+            self.bind(registry)
+
+    # -- binding -------------------------------------------------------------
+
+    def bind(self, registry: StatsRegistry,
+             system: Optional[str] = None) -> None:
+        """Start a new segment sampling *registry* (epochs restart)."""
+        self._registry = registry
+        self._next = self.interval
+        self.segments.append(MetricsSegment(system or registry.name))
+
+    # -- the engine-facing sampler interface ---------------------------------
+
+    def on_root(self, component) -> None:
+        if component.component_name == self.root_name:
+            self.bind(component.stats_scope, component.component_name)
+
+    def on_cycle(self, cycle: int) -> None:
+        if cycle < self._next or self._registry is None:
+            return
+        self.take(cycle)
+
+    # -- sampling ------------------------------------------------------------
+
+    def _selected(self) -> Dict[str, float]:
+        values = self._registry.flat_paths()
+        if self.select is None:
+            return values
+        return {path: value for path, value in values.items()
+                if any(fnmatchcase(path, pattern)
+                       for pattern in self.select)}
+
+    def take(self, cycle: int) -> Optional[MetricsSample]:
+        """Snapshot now (also the epoch-crossing path from the hook)."""
+        self._next = (cycle // self.interval + 1) * self.interval
+        if self._retained >= self.capacity:
+            self.dropped += 1
+            return None
+        sample = MetricsSample(cycle=cycle, epoch=cycle // self.interval,
+                               values=self._selected())
+        self.segments[-1].samples.append(sample)
+        self._retained += 1
+        return sample
+
+    @property
+    def total_samples(self) -> int:
+        return self._retained
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "interval": self.interval,
+            "root": self.root_name,
+            "select": self.select,
+            "dropped": self.dropped,
+            "segments": [
+                {"system": segment.system,
+                 "samples": [{"cycle": sample.cycle, "epoch": sample.epoch,
+                              "values": dict(sample.values)}
+                             for sample in segment.samples]}
+                for segment in self.segments
+            ],
+        }
+
+
+def metrics_document(name: str, sampler: MetricsSampler,
+                     manifest: Optional[RunManifest] = None) -> Dict[str, Any]:
+    """Assemble the ``results/<run>.metrics.json`` document."""
+    if manifest is None:
+        manifest = RunManifest.create(name)
+    manifest.finish()
+    return {"manifest": manifest.to_dict(), "metrics": sampler.to_dict()}
+
+
+def write_metrics(name: str, sampler: MetricsSampler,
+                  manifest: Optional[RunManifest] = None,
+                  results_dir=None) -> Path:
+    """Write ``<results_dir>/<name>.metrics.json``; returns the path."""
+    from .export import default_results_dir, write_json
+    results_dir = Path(results_dir) if results_dir is not None \
+        else default_results_dir()
+    return write_json(results_dir / f"{name}.metrics.json",
+                      metrics_document(name, sampler, manifest))
+
+
+@contextmanager
+def metrics_session(interval: int = DEFAULT_INTERVAL,
+                    select: Optional[Sequence[str]] = None,
+                    root_name: str = DEFAULT_ROOT,
+                    capacity: int = DEFAULT_SAMPLE_CAPACITY,
+                    sampler: Optional[MetricsSampler] = None):
+    """Arm a :class:`MetricsSampler` for the enclosed block.
+
+    ::
+
+        with metrics_session(interval=500) as sampler:
+            run_experiment()
+        write_metrics("run", sampler)
+    """
+    recorder = sampler if sampler is not None else MetricsSampler(
+        interval, select=select, root_name=root_name, capacity=capacity)
+    tracing.install_sampler(recorder)
+    try:
+        yield recorder
+    finally:
+        tracing.uninstall_sampler()
+
+
+def format_metrics(doc: Dict[str, Any], width: int = 42,
+                   max_series: Optional[int] = None) -> str:
+    """ASCII rendering of a metrics document: one sparkline per series.
+
+    Constant all-zero series are elided (most counters never move in a
+    short run); each line shows the metric path, the sparkline over the
+    segment's epochs, and the first/last values.
+    """
+    from ..eval.reporting import sparkline
+    metrics = doc.get("metrics", doc)
+    lines = [f"metrics: {len(metrics['segments'])} segment(s), "
+             f"epoch = {metrics['interval']} cycles"
+             + (f", {metrics['dropped']} sample(s) dropped"
+                if metrics.get("dropped") else "")]
+    for index, segment in enumerate(metrics["segments"]):
+        samples = segment["samples"]
+        if not samples:
+            continue
+        lines.append(f"[{segment['system']} #{index}] "
+                     f"{len(samples)} sample(s), cycles "
+                     f"{samples[0]['cycle']}..{samples[-1]['cycle']}")
+        series = MetricsSegment(
+            segment["system"],
+            [MetricsSample(s["cycle"], s["epoch"], s["values"])
+             for s in samples]).series()
+        shown = 0
+        name_width = max((len(path) for path in series), default=0)
+        for path, values in series.items():
+            if not any(values):
+                continue
+            if max_series is not None and shown >= max_series:
+                lines.append(f"  ... {len(series) - shown} more series")
+                break
+            shown += 1
+            lines.append(f"  {path:<{name_width}} "
+                         f"{sparkline(values, width):<{min(width, len(values))}} "
+                         f"{values[0]:g} -> {values[-1]:g}")
+    return "\n".join(lines)

@@ -51,6 +51,105 @@ RUN_SCHEMA: Dict[str, Any] = {
         "manifest": MANIFEST_SCHEMA,
         "data": {},
         "stats": STATS_SCHEMA,
+        # Present only when the run was traced and the ring buffer
+        # overflowed: how many events were lost, and the capacity that
+        # lost them (so the reader can re-run with a bigger buffer).
+        "trace": {
+            "type": "object",
+            "required": ["dropped", "capacity"],
+            "properties": {
+                "dropped": {"type": "integer", "minimum": 1},
+                "capacity": {"type": "integer", "minimum": 1},
+            },
+        },
+    },
+}
+
+#: Schema of a ``results/*.metrics.json`` time-series document.
+METRICS_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["manifest", "metrics"],
+    "properties": {
+        "manifest": MANIFEST_SCHEMA,
+        "metrics": {
+            "type": "object",
+            "required": ["interval", "segments"],
+            "properties": {
+                "interval": {"type": "integer", "minimum": 1},
+                "root": {"type": "string"},
+                "select": {"type": ["array", "null"],
+                           "items": {"type": "string"}},
+                "dropped": {"type": "integer", "minimum": 0},
+                "segments": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["system", "samples"],
+                        "properties": {
+                            "system": {"type": "string"},
+                            "samples": {
+                                "type": "array",
+                                "items": {
+                                    "type": "object",
+                                    "required": ["cycle", "epoch", "values"],
+                                    "properties": {
+                                        "cycle": {"type": "integer",
+                                                  "minimum": 0},
+                                        "epoch": {"type": "integer",
+                                                  "minimum": 0},
+                                        "values": {"type": "object"},
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+#: One node of the cycle-accounting tree.  The schema references itself
+#: for ``children`` — the validator recurses by document depth, so a
+#: cyclic schema object terminates like any finite profile does.
+PROFILE_NODE_SCHEMA: Dict[str, Any] = {
+    "type": ["object", "null"],
+    "required": ["name", "cycles", "total", "breakdown", "children"],
+    "properties": {
+        "name": {"type": "string"},
+        "cycles": {"type": "number", "minimum": 0},
+        "total": {"type": "number", "minimum": 0},
+        "breakdown": {"type": "object"},
+    },
+}
+PROFILE_NODE_SCHEMA["properties"]["children"] = {
+    "type": "array", "items": PROFILE_NODE_SCHEMA}
+
+#: Schema of a ``results/*.profile.json`` cycle-accounting document.
+PROFILE_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["manifest", "profile"],
+    "properties": {
+        "manifest": MANIFEST_SCHEMA,
+        "systems": {"type": "integer", "minimum": 0},
+        "profile": PROFILE_NODE_SCHEMA,
+        "wall": {
+            "type": ["object", "null"],
+            "properties": {
+                "sections": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["name", "seconds", "calls"],
+                        "properties": {
+                            "name": {"type": "string"},
+                            "seconds": {"type": "number", "minimum": 0},
+                            "calls": {"type": "integer", "minimum": 0},
+                        },
+                    },
+                },
+            },
+        },
     },
 }
 

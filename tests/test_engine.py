@@ -110,6 +110,50 @@ class TestStatsRegistry:
         assert "system" in dump and "  hierarchy" in dump
         assert "    l1" in dump and "hits = 3" in dump
 
+    @staticmethod
+    def _deep_tree():
+        # Two subtrees that both end in a leaf scope named "queue" — the
+        # duplicate-leaf-name case the legacy flat() view collapses and
+        # flat_paths() must keep distinct.
+        root = StatsRegistry("system")
+        north = root.child("north")
+        north.counter("events").increment(1)
+        north.child("queue").gauge("depth", 2).adjust(3)
+        south_queue = root.child("south").child("queue")
+        south_queue.gauge("depth", 2).adjust(8)
+        south_queue.counter("stalls").increment(4)
+        return root
+
+    def test_flat_merges_duplicate_leaf_scope_names(self):
+        flat = self._deep_tree().flat()
+        # Both "queue" scopes collapse into one entry; the last-walked
+        # scope's value wins for colliding fields, and fields unique to
+        # either scope survive.
+        assert set(flat["queue"]) == {"depth", "stalls"}
+        assert flat["queue"]["depth"] == 10
+        assert flat["queue"]["stalls"] == 4
+        assert flat["north"] == {"events": 1}
+
+    def test_flat_paths_keeps_duplicate_leaves_distinct(self):
+        paths = self._deep_tree().flat_paths()
+        assert paths["system.north.queue.depth"] == 5
+        assert paths["system.south.queue.depth"] == 10
+        assert paths["system.south.queue.stalls"] == 4
+        assert "system.queue.depth" not in paths
+
+    def test_deep_reset_zeroes_counters_and_restores_gauges(self):
+        root = self._deep_tree()
+        root.reset()
+        paths = root.flat_paths()
+        # Counters zero; gauges return to their initial level (2), not 0.
+        assert paths["system.north.events"] == 0
+        assert paths["system.south.queue.stalls"] == 0
+        assert paths["system.north.queue.depth"] == 2
+        assert paths["system.south.queue.depth"] == 2
+        # A gauge moved after reset reports the new level.
+        root.children()[0]._children["queue"]._gauges["depth"].adjust(7)
+        assert root.flat_paths()["system.north.queue.depth"] == 9
+
 
 class TestSimClock:
     def test_advance_is_monotonic(self):

@@ -182,6 +182,25 @@ class TestStatsExport:
         with pytest.raises(TypeError):
             stats_to_dict(42)
 
+    def test_stats_to_dict_passes_plain_dicts_through(self):
+        exported = {"name": "system", "scalars": {"hits": 3},
+                    "blocks": {}, "children": []}
+        assert stats_to_dict(exported) is exported
+
+        class Holder:
+            stats_scope = exported
+
+        assert stats_to_dict(Holder()) is exported
+
+    def test_stats_to_dict_errors_name_the_offending_attribute(self):
+        class Broken:
+            stats_scope = 42
+
+        with pytest.raises(TypeError, match="stats_scope.*int"):
+            stats_to_dict(Broken())
+        with pytest.raises(TypeError, match="no 'stats_scope'"):
+            stats_to_dict(object())
+
 
 class TestEmitRun:
     def test_emit_run_writes_valid_document(self, tmp_path):
@@ -232,6 +251,35 @@ class TestEmitRun:
         assert doc["stats"] is None
 
 
+class TestTraceDropsSurfaced:
+    def test_overflowed_ring_recorded_in_run_document(self, tmp_path,
+                                                      capsys):
+        with tracing_session(capacity=8) as tracer:
+            _small_fork_run()
+        assert tracer.dropped > 0
+        path = emit_run("tiny", {}, tracer=tracer, results_dir=tmp_path)
+        doc = json.loads(path.read_text())
+        validate_run(doc)
+        assert doc["trace"] == {"dropped": tracer.dropped, "capacity": 8}
+        warning = capsys.readouterr().out
+        assert "ring buffer overflowed" in warning
+        assert str(tracer.dropped) in warning
+
+    def test_unoverflowed_ring_leaves_document_unchanged(self, tmp_path,
+                                                         capsys):
+        with tracing_session() as tracer:
+            _small_fork_run()
+        assert tracer.dropped == 0
+        path = emit_run("roomy", {}, tracer=tracer, results_dir=tmp_path)
+        doc = json.loads(path.read_text())
+        assert "trace" not in doc
+        assert "overflowed" not in capsys.readouterr().out
+
+    def test_untraced_document_carries_no_trace_key(self):
+        doc = run_document(RunManifest.create("unit"), {})
+        assert "trace" not in doc
+
+
 class TestZeroOverheadWhenOff:
     def test_simulated_time_identical_with_and_without_tracing(self):
         _, untraced = _small_fork_run()
@@ -259,6 +307,33 @@ class TestZeroOverheadWhenOff:
                   if stat.size_diff > 0]
         assert not growth, (
             f"disabled tracing hooks allocated: {growth}")
+
+    def test_disabled_sampler_clock_hook_allocates_nothing(self):
+        # The sampler hook site runs on *every* observed time movement;
+        # with no sampler installed it must be one attribute load plus
+        # an `is None` test.  Cycle values are kept inside CPython's
+        # cached small-int range so the loop itself allocates nothing
+        # attributable to clock.py.
+        from repro.engine.clock import SimClock
+        assert tracing.active_sampler() is None
+        clock = SimClock()
+        for _ in range(100):  # warm the advance/observe path
+            clock.advance(1)
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            for _ in range(100):
+                clock.advance(1)
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        observed = [tracemalloc.Filter(True, "*/engine/clock.py")]
+        growth = [stat for stat
+                  in after.filter_traces(observed).compare_to(
+                      before.filter_traces(observed), "lineno")
+                  if stat.size_diff > 0]
+        assert not growth, (
+            f"disabled sampler hook site allocated: {growth}")
 
 
 class TestDefaultCapacity:
