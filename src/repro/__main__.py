@@ -27,6 +27,10 @@ Options:
                        where-did-the-cycles-go tree (implies --json)
     --results-dir DIR  directory for the JSON artifacts (default:
                        ./results, or $REPRO_RESULTS_DIR)
+    --max-cycles N     abort any experiment whose simulated clock passes
+                       N cycles (raises SimulationHangError with a
+                       last-progress snapshot) — a watchdog against
+                       runaway simulations
 
 Running ``all`` with ``--json`` additionally writes results/cli_all.json
 aggregating every experiment's data payload into one document.
@@ -221,6 +225,21 @@ def main(argv=None):
                 print("--results-dir requires a directory argument")
                 return 2
             results_dir = args[i]
+        elif arg == "--max-cycles":
+            i += 1
+            if i >= len(args):
+                print("--max-cycles requires a cycle count")
+                return 2
+            try:
+                max_cycles = int(args[i])
+            except ValueError:
+                print(f"--max-cycles needs an integer, got {args[i]!r}")
+                return 2
+            if max_cycles <= 0:
+                print("--max-cycles must be positive")
+                return 2
+            from .engine.clock import set_default_max_cycles
+            set_default_max_cycles(max_cycles)
         elif arg.startswith("-"):
             print(f"unknown option {arg}; try `python -m repro list`")
             return 2

@@ -37,7 +37,7 @@ LAYER_RANKS: Dict[str, int] = {
     "config": 0, "engine": 0,
     "mem": 1, "core": 1, "cpu": 1, "osmodel": 1, "obs": 1,
     "techniques": 2,
-    "eval": 3, "workloads": 3, "sparse": 3,
+    "eval": 3, "workloads": 3, "sparse": 3, "robust": 3,
 }
 
 

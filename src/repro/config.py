@@ -8,8 +8,21 @@ in the paper's layout, and ablations override single fields.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import List, Tuple
+
+
+class ConfigError(ValueError):
+    """Raised when a :class:`SystemConfig` is structurally invalid.
+
+    Catching bad parameters at construction turns what used to surface
+    as deep arithmetic bugs (zero-division in set indexing, negative
+    latencies silently rewinding cursors) into one actionable message.
+    """
+
+
+def _is_power_of_two(value: int) -> bool:
+    return isinstance(value, int) and value > 0 and value & (value - 1) == 0
 
 
 @dataclass(frozen=True)
@@ -71,9 +84,77 @@ class SystemConfig:
     table_walk_access_cycles: int = 120  # uncontended row-miss DRAM read
     overlay_read_exclusive_latency: int = 100   # single-line remap broadcast
     tlb_shootdown_latency: int = 3000    # IPI-based shootdown [40, 54]
+    # Fault handling (repro.robust): DRAM ECC and coherence-fault timing.
+    # SECDED corrects a single-bit read error inside the controller
+    # pipeline; detect-only parity forces a full retry of the column
+    # access; a fault-delayed coherence message arrives this much later.
+    ecc_correction_latency: int = 20
+    ecc_retry_latency: int = 110
+    fault_coherence_delay_cycles: int = 100
     # Reproducibility: the base seed every synthetic-input generator
     # derives its random.Random from (Section 5 runs are deterministic).
     rng_seed: int = 0
+
+    # -- construction-time validation ------------------------------------
+
+    #: Byte-size fields that must be powers of two (set indexing and the
+    #: address-bit arithmetic in :mod:`repro.core.address` require it).
+    _POWER_OF_TWO_FIELDS = ("cache_line_bytes", "page_bytes", "l1_bytes",
+                            "l2_bytes", "l3_bytes", "bus_bytes",
+                            "row_buffer_bytes")
+
+    def __post_init__(self) -> None:
+        problems: List[str] = []
+        for spec in fields(self):
+            name = spec.name
+            value = getattr(self, name)
+            if name.endswith("_latency") or name.endswith("_cycles"):
+                if not isinstance(value, int) or value <= 0:
+                    problems.append(
+                        f"{name}={value!r}: latencies are whole positive "
+                        f"cycle counts (use >= 1)")
+        for name in self._POWER_OF_TWO_FIELDS:
+            value = getattr(self, name)
+            if not _is_power_of_two(value):
+                problems.append(
+                    f"{name}={value!r}: sizes must be positive powers of "
+                    f"two (e.g. {name}=4096)")
+        if self.frequency_ghz <= 0:
+            problems.append(f"frequency_ghz={self.frequency_ghz!r}: the "
+                            f"core clock must be positive")
+        for entries, ways, label in (
+                (self.l1_tlb_entries, self.l1_tlb_ways, "l1_tlb"),
+                (self.l1_bytes // max(1, self.cache_line_bytes),
+                 self.l1_ways, "l1"),
+                (self.l2_bytes // max(1, self.cache_line_bytes),
+                 self.l2_ways, "l2"),
+                (self.l3_bytes // max(1, self.cache_line_bytes),
+                 self.l3_ways, "l3")):
+            if ways <= 0:
+                problems.append(f"{label}_ways={ways!r}: associativity "
+                                f"must be at least 1")
+            elif entries % ways:
+                problems.append(
+                    f"{label}: {entries} entries do not divide into "
+                    f"{ways} ways; adjust {label}_ways or the size so "
+                    f"entries % ways == 0")
+        if _is_power_of_two(self.cache_line_bytes) \
+                and _is_power_of_two(self.page_bytes) \
+                and self.page_bytes % self.cache_line_bytes:
+            problems.append(
+                f"page_bytes={self.page_bytes} is not a multiple of "
+                f"cache_line_bytes={self.cache_line_bytes}")
+        if self.write_buffer_entries <= 0:
+            problems.append(f"write_buffer_entries="
+                            f"{self.write_buffer_entries!r}: the DRAM "
+                            f"write buffer needs at least one entry")
+        if self.omt_cache_entries < 0:
+            problems.append(f"omt_cache_entries="
+                            f"{self.omt_cache_entries!r}: use 0 to "
+                            f"disable the OMT cache, not a negative size")
+        if problems:
+            raise ConfigError(
+                "invalid SystemConfig:\n  " + "\n  ".join(problems))
 
     def as_rows(self) -> List[Tuple[str, str]]:
         """Rows in the layout of Table 2."""

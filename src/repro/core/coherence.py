@@ -92,13 +92,20 @@ class CoherenceNetwork(Component):
         asid, vaddr = decompose_overlay_address(page_address(overlay_page))
         vpn = vaddr >> 12
         self.stats.overlaying_read_exclusive_messages += 1
-        for tlb in self.tlbs:
-            if tlb.snoop_overlaying_write(asid, vpn, line):
-                self.stats.tlb_entries_updated += 1
-        if omt_entry is not None:
-            omt_entry.obitvector.set(line)
+        # Fault-injection site: the broadcast can be lost (no TLB or OMT
+        # ever hears about the remap) or delayed on the network.
+        deliver, extra = True, 0
+        if HOOKS.faults is not None:
+            deliver, extra = HOOKS.faults.filter_coherence(
+                "overlaying_read_exclusive", overlay_page, line)
+        if deliver:
+            for tlb in self.tlbs:
+                if tlb.snoop_overlaying_write(asid, vpn, line):
+                    self.stats.tlb_entries_updated += 1
+            if omt_entry is not None:
+                omt_entry.obitvector.set(line)
         start = max(now, self._port_busy_until)
-        done = start + self.message_latency
+        done = start + self.message_latency + extra
         self._port_busy_until = done
         if HOOKS.active is not None:
             HOOKS.active.emit(now, "coherence", "overlaying_read_exclusive",
@@ -112,16 +119,23 @@ class CoherenceNetwork(Component):
         asid, vaddr = decompose_overlay_address(page_address(overlay_page))
         vpn = vaddr >> 12
         self.stats.commit_broadcasts += 1
-        for tlb in self.tlbs:
-            if tlb.snoop_commit(asid, vpn):
-                self.stats.tlb_entries_updated += 1
-        if omt_entry is not None:
-            omt_entry.obitvector.clear_all()
+        # Fault-injection site: a lost commit broadcast leaves stale set
+        # bits in TLB copies after the overlay is gone.
+        deliver, extra = True, 0
+        if HOOKS.faults is not None:
+            deliver, extra = HOOKS.faults.filter_coherence(
+                "commit", overlay_page, -1)
+        if deliver:
+            for tlb in self.tlbs:
+                if tlb.snoop_commit(asid, vpn):
+                    self.stats.tlb_entries_updated += 1
+            if omt_entry is not None:
+                omt_entry.obitvector.clear_all()
         if HOOKS.active is not None:
             HOOKS.active.emit(None, "coherence", "broadcast_commit",
                               {"opn": overlay_page,
-                               "latency": self.message_latency})
-        return self.message_latency
+                               "latency": self.message_latency + extra})
+        return self.message_latency + extra
 
     # -- the baseline it replaces -------------------------------------------
 

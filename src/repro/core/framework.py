@@ -69,6 +69,7 @@ class FrameworkStats:
     overlaying_writes: int = 0
     simple_overlay_writes: int = 0
     cow_triggers: int = 0
+    mapping_recoveries: int = 0
     promotions: Dict[str, int] = field(
         default_factory=lambda: {action: 0 for action in PROMOTE_ACTIONS})
 
@@ -137,6 +138,10 @@ class OverlaySystem(Component):
                      for tlb in self.tlbs]
         self.cow_handler: CowHandler = cow_handler or default_cow_handler
         self.overlays_enabled = overlays_enabled
+        #: Set when the overlay subsystem is deemed untrustworthy (too
+        #: many unrecoverable faults); the kernel's graceful-degradation
+        #: path checks it before falling back to full-page copy-on-write.
+        self.overlay_faulted = False
         self.stats = FrameworkStats()
         self.stats_scope.register_block("framework", self.stats)
         self._serializing_event = False
@@ -374,6 +379,78 @@ class OverlaySystem(Component):
         # Step 3: the store itself, now a simple overlay write.
         latency += self._store_line(ov_tag, vaddr, chunk, now=self.clock + latency)
         self.stats.overlaying_writes += 1
+        return latency
+
+    # -- detection/recovery (repro.robust) -----------------------------------------
+
+    def mark_overlay_faulted(self) -> None:
+        """Declare the overlay subsystem untrustworthy.
+
+        Recovery escalation: once set, the OS should degrade to the
+        full-page copy-on-write baseline
+        (:meth:`repro.osmodel.kernel.Kernel.degrade_to_full_page_cow`).
+        """
+        self.overlay_faulted = True
+        self.trace_event("robust", "overlay_faulted", None)
+
+    def recover_overlay_mapping(self, asid: int, vpn: int) -> int:
+        """OMT re-walk on detected mapping corruption; returns the latency.
+
+        The recovery sequence a memory controller would run when an
+        integrity check flags (*asid*, *vpn*):
+
+        1. shoot down every (possibly corrupt) TLB copy of the mapping
+           and drop the OMT-cache line, then re-walk the in-memory OMT —
+           both charged at their Table 2 latencies;
+        2. reconcile metadata with data: a line dirty under the overlay
+           tag (or stored in a segment) whose OMT bit is unset lost its
+           *overlaying read exclusive* message — re-issue it; an OMT bit
+           set with no overlay data anywhere (no dirty cached line, no
+           segment slot) is a spurious flip — clear it before a read
+           returns zero-filled garbage;
+        3. re-assert overlay exclusivity: drop any cached physical copy
+           of a line the OMT maps to the overlay (the frame keeps the
+           pre-remap data, as ``discard`` promotion requires).
+        """
+        opn = overlay_page_number(asid, vpn)
+        latency = self.coherence.shootdown(asid, vpn)
+        self.controller.omt_cache.invalidate(opn)
+        entry, walk_latency = self.controller.omt_entry(opn, charge=True)
+        latency += walk_latency
+        table = self.page_tables.get(asid)
+        pte = table.entry(vpn) if table is not None else None
+        if pte is None:
+            # No mapping owns this overlay; the only consistent state is
+            # no overlay at all — drop the orphan entry and its segment.
+            if entry is not None:
+                self.controller.drop_overlay(opn)
+            self.stats.mapping_recoveries += 1
+            return latency
+        segment = entry.segment if entry is not None else None
+        for line in range(LINES_PER_PAGE):
+            ov_tag = line_tag_of(opn, line)
+            overlay_cached = (
+                self.hierarchy.dirty_data(ov_tag) is not None
+                or (segment is not None and segment.has_line(line)))
+            in_overlay = (entry is not None
+                          and entry.obitvector.is_set(line))
+            if overlay_cached and not in_overlay:
+                entry, _ = self.controller.omt_entry(opn, create=True,
+                                                     charge=False)
+                latency += self.coherence.overlaying_read_exclusive(
+                    opn, line, entry, now=self.clock + latency)
+                segment = entry.segment
+                in_overlay = True
+            elif in_overlay and not overlay_cached and (
+                    segment is None or not segment.has_line(line)):
+                entry.obitvector.clear(line)
+                in_overlay = False
+            if in_overlay:
+                self.hierarchy.invalidate(line_tag_of(pte.ppn, line),
+                                          writeback=False)
+        self.stats.mapping_recoveries += 1
+        self.trace_event("robust", "mapping_recovery",
+                         {"asid": asid, "vpn": vpn, "latency": latency})
         return latency
 
     # -- software overlay population (sparse data, metadata, ...) -----------------

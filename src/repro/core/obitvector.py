@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from .address import LINES_PER_PAGE
+from ..engine.tracing import HOOKS
 
 
 class OBitVector:
@@ -105,7 +106,13 @@ class OBitVector:
     # -- value semantics ---------------------------------------------------
 
     def copy(self) -> "OBitVector":
-        return OBitVector(self._bits)
+        vector = OBitVector(self._bits)
+        # Fault-injection site: a copied vector models the bit vector in
+        # flight to a TLB/OMT-cache snapshot; a transient error corrupts
+        # the copy while the authoritative vector stays intact.
+        if HOOKS.faults is not None:
+            HOOKS.faults.on_obitvector_copy(vector)
+        return vector
 
     def union(self, other: "OBitVector") -> "OBitVector":
         return OBitVector(self._bits | other._bits)

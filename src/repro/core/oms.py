@@ -32,7 +32,7 @@ from the writeback path only.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .address import LINE_SIZE, LINES_PER_PAGE, PAGE_SIZE
 from ..engine.component import Component
@@ -384,6 +384,15 @@ class OverlayMemoryStore(Component):
     @property
     def free_segment_counts(self) -> Dict[int, int]:
         return {size: len(bases) for size, bases in self._free_lists.items()}
+
+    def free_list_snapshot(self) -> Dict[int, Tuple[int, ...]]:
+        """Per-size free segment bases (invariant checking; read-only)."""
+        return {size: tuple(bases)
+                for size, bases in self._free_lists.items()}
+
+    def live_segments(self) -> List[Segment]:
+        """Every live segment, sorted by base address (invariant checks)."""
+        return [self._segments[base] for base in sorted(self._segments)]
 
     @property
     def live_segment_count(self) -> int:

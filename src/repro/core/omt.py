@@ -25,6 +25,7 @@ from typing import Dict, Optional, Tuple
 
 from .obitvector import OBitVector
 from .oms import Segment
+from ..engine.tracing import HOOKS
 
 #: Memory accesses charged per OMT walk.  The OMT is a 4-level
 #: hierarchical table (like the page table), but the controller keeps the
@@ -94,6 +95,11 @@ class OverlayMappingTable:
     def __contains__(self, opn: int) -> bool:
         return opn in self._entries
 
+    def items(self) -> Tuple[Tuple[int, OMTEntry], ...]:
+        """Every ``(opn, entry)`` pair in a deterministic order (invariant
+        checking and debug dumps; never charged as memory accesses)."""
+        return tuple(sorted(self._entries.items()))
+
 
 class OMTCache:
     """LRU cache of recently accessed OMT entries (Ë in Figure 6).
@@ -145,6 +151,10 @@ class OMTCache:
         if self._capacity:
             accesses += self._insert(opn, entry)
         self.stats.walk_memory_accesses += accesses
+        # Fault-injection site: the entry just crossed the memory bus in
+        # an OMT walk — a transient error here flips mapping metadata.
+        if HOOKS.faults is not None:
+            HOOKS.faults.on_omt_walk(entry)
         return entry, accesses
 
     def _insert(self, opn: int, entry: OMTEntry) -> int:

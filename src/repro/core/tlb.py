@@ -165,6 +165,10 @@ class TLB(Component):
         """
         entry = TLBEntry(asid=asid, vpn=vpn, pte=pte,
                          obitvector=(obitvector or OBitVector()).copy())
+        # Fault-injection site: the widened entry is written into the TLB
+        # array; a transient error corrupts this TLB's private copy only.
+        if HOOKS.faults is not None:
+            HOOKS.faults.on_tlb_fill(entry)
         self._l2.insert(entry)
         self._l1.insert(entry)
         if HOOKS.active is not None:
@@ -222,3 +226,11 @@ class TLB(Component):
     def cached_entry(self, asid: int, vpn: int) -> Optional[TLBEntry]:
         """Peek (no stats, no LRU effect beyond lookup) for tests/snoops."""
         return self._l1.lookup((asid, vpn)) or self._l2.lookup((asid, vpn))
+
+    def cached_entries(self) -> List[TLBEntry]:
+        """Every cached entry, deduplicated across levels (both levels
+        share entry objects — the TLB is inclusive) and sorted by
+        ``(asid, vpn)`` so invariant sweeps are deterministic."""
+        unique = {entry.key: entry
+                  for entry in self._l1.entries() + self._l2.entries()}
+        return [unique[key] for key in sorted(unique)]

@@ -27,17 +27,19 @@ this repository needs and previously reimplemented by hand:
 """
 
 from . import tracing
-from .clock import ClockCursor, ClockError, SimClock
+from .clock import (ClockCursor, ClockError, SimClock, SimulationHangError,
+                    default_max_cycles, set_default_max_cycles)
 from .component import Component
 from .port import (FetchPort, MissPort, MissResolution, Port, PortError,
                    WritebackPort)
 from .stats import Counter, Gauge, StatsError, StatsRegistry, merge_blocks, snapshot_block
 from .builder import SystemBuilder
 from .rng import derive_rng, resolve_seed
-from .tracing import CycleSampler, TraceError, TraceSink
+from .tracing import CycleSampler, FaultHook, TraceError, TraceSink
 
 __all__ = [
-    "ClockCursor", "ClockError", "SimClock",
+    "ClockCursor", "ClockError", "SimClock", "SimulationHangError",
+    "default_max_cycles", "set_default_max_cycles",
     "Component",
     "FetchPort", "MissPort", "MissResolution", "Port", "PortError",
     "WritebackPort",
@@ -45,5 +47,5 @@ __all__ = [
     "merge_blocks", "snapshot_block",
     "SystemBuilder",
     "derive_rng", "resolve_seed",
-    "tracing", "CycleSampler", "TraceError", "TraceSink",
+    "tracing", "CycleSampler", "FaultHook", "TraceError", "TraceSink",
 ]

@@ -27,6 +27,49 @@ class ClockError(RuntimeError):
     """Raised when a component tries to move its clock backwards."""
 
 
+class SimulationHangError(RuntimeError):
+    """A run blew through its ``max_sim_cycles`` watchdog limit.
+
+    Carries a ``snapshot`` of the timeline at the moment the limit was
+    crossed (the last-progress state: global now/peak and every live
+    cursor's position) so a hung run leaves a diagnosis behind instead
+    of looping forever.
+    """
+
+    def __init__(self, limit: int, snapshot: dict):
+        cursors = ", ".join(f"{name}@{time}" for name, time
+                            in snapshot.get("cursors", [])) or "none"
+        super().__init__(
+            f"simulation exceeded max_sim_cycles={limit} "
+            f"(now={snapshot.get('now')}, peak={snapshot.get('peak')}, "
+            f"cursors: {cursors}); raise the limit with --max-cycles or "
+            f"SimClock(max_cycles=...) if the run is legitimately long")
+        self.limit = limit
+        self.snapshot = snapshot
+
+
+#: Process-wide default watchdog limit new clocks adopt (None: no limit).
+#: The CLI's ``--max-cycles`` flag sets it for the experiments it runs.
+_DEFAULT_MAX_CYCLES = None
+
+
+def set_default_max_cycles(limit) -> None:
+    """Set the watchdog limit newly built :class:`SimClock`\\ s inherit.
+
+    ``None`` disables the watchdog (the default).  Existing clocks are
+    unaffected; the limit applies at construction time.
+    """
+    global _DEFAULT_MAX_CYCLES
+    if limit is not None and limit <= 0:
+        raise ValueError(f"max_sim_cycles must be positive, got {limit}")
+    _DEFAULT_MAX_CYCLES = limit
+
+
+def default_max_cycles():
+    """The process-wide default watchdog limit (None: disabled)."""
+    return _DEFAULT_MAX_CYCLES
+
+
 class ClockCursor:
     """One component's strictly monotonic position on a shared timeline."""
 
@@ -81,10 +124,17 @@ class SimClock:
     whichever cursor acts next; ``peak`` never decreases.
     """
 
-    def __init__(self, start: int = 0):
+    def __init__(self, start: int = 0, max_cycles=None):
         self._now = start
         self._peak = start
         self._cursors: List[ClockCursor] = []
+        # Runaway-simulation watchdog: None disables it; the process
+        # default comes from set_default_max_cycles (the CLI flag).
+        self._max_cycles = (_DEFAULT_MAX_CYCLES if max_cycles is None
+                            else max_cycles)
+        if self._max_cycles is not None and self._max_cycles <= 0:
+            raise ValueError(
+                f"max_cycles must be positive, got {self._max_cycles}")
 
     # -- global time --------------------------------------------------------
 
@@ -116,6 +166,15 @@ class SimClock:
     def _observe(self, cycle: int) -> None:
         if cycle > self._peak:
             self._peak = cycle
+            # Watchdog site: every time movement funnels through here,
+            # so one disarmed comparison guards the whole timeline.
+            # Checked only on forward peak motion — event-driven seeks
+            # below the peak cannot be the runaway.
+            if self._max_cycles is not None and cycle > self._max_cycles:
+                raise SimulationHangError(self._max_cycles, {
+                    "now": self._now, "peak": self._peak,
+                    "cursors": [(cursor.name, cursor.time)
+                                for cursor in self._cursors]})
         # Sampling hook site: every observed time movement (global
         # advances, cursor advances, event-driven seeks) funnels through
         # here, so one disarmed check covers the whole timeline.

@@ -75,6 +75,54 @@ class CycleSampler:
         """Optional callback; the default ignores the new root."""
 
 
+class FaultHook:
+    """Interface a fault injector implements (the ``HOOKS.faults`` slot).
+
+    The engine publishes *opportunities* to inject; the installed hook
+    (normally :class:`repro.robust.FaultInjector`) decides — off its own
+    deterministic RNG — whether a fault actually fires.  Each site method
+    corresponds to one structure named in the fault taxonomy:
+
+    * ``on_omt_walk(entry)`` — an OMT entry just came out of an OMT walk
+      (``core/omt.py``); the hook may flip bits of the entry in place.
+    * ``on_obitvector_copy(vector)`` — an OBitVector was copied
+      (``core/obitvector.py``: the TLB-fill snapshot path); the hook may
+      corrupt the fresh copy.
+    * ``on_tlb_fill(entry)`` — a translation was just installed in a TLB
+      (``core/tlb.py``); the hook may corrupt the cached entry.
+    * ``filter_coherence(kind, opn, line)`` — a coherence message is
+      about to broadcast (``core/coherence.py``); returns
+      ``(deliver, extra_cycles)``: ``deliver=False`` drops the message
+      (TLBs and the OMT never hear about the remap/commit),
+      ``extra_cycles`` delays it.
+    * ``on_dram_read(address)`` — a DRAM line read is in flight
+      (``mem/dram.py``); returns extra latency cycles charged by the
+      ECC model (correction or detect-and-retry), 0 when no fault fires.
+
+    Zero-overhead-when-off contract (same as the tracer and sampler
+    slots, asserted by ``tests/test_robust_faults.py``): every site is
+    guarded by ``if HOOKS.faults is not None`` — one attribute load plus
+    an ``is None`` test, no calls, no allocations, no cycle changes.
+    """
+
+    def on_omt_walk(self, entry) -> None:
+        """Optional callback; the default injects nothing."""
+
+    def on_obitvector_copy(self, vector) -> None:
+        """Optional callback; the default injects nothing."""
+
+    def on_tlb_fill(self, entry) -> None:
+        """Optional callback; the default injects nothing."""
+
+    def filter_coherence(self, kind: str, opn: int, line: int):
+        """Return ``(deliver, extra_cycles)``; default delivers on time."""
+        return True, 0
+
+    def on_dram_read(self, address: int) -> int:
+        """Return extra read-latency cycles; default injects nothing."""
+        return 0
+
+
 class SamplerFanout(CycleSampler):
     """Feed one sampler slot to several recorders (metrics + profiler)."""
 
@@ -93,11 +141,12 @@ class SamplerFanout(CycleSampler):
 class TraceHooks:
     """The process-wide hook slots; each is ``None`` when off."""
 
-    __slots__ = ("active", "sampler")
+    __slots__ = ("active", "sampler", "faults")
 
     def __init__(self) -> None:
         self.active: Optional[TraceSink] = None
         self.sampler: Optional[CycleSampler] = None
+        self.faults: Optional[FaultHook] = None
 
 
 #: The one slot every hook site reads.  Hook sites import this object
@@ -151,3 +200,26 @@ def uninstall_sampler() -> None:
 def active_sampler() -> Optional[CycleSampler]:
     """The installed sampler, or ``None`` when sampling is off."""
     return HOOKS.sampler
+
+
+def install_faults(hook: FaultHook) -> FaultHook:
+    """Arm fault injection: route every injection site to *hook*.
+
+    Exactly one fault hook may be active; installing over a live one
+    raises :class:`TraceError` so overlapping campaigns fail loudly.
+    """
+    if HOOKS.faults is not None:
+        raise TraceError("a fault hook is already installed; "
+                         "uninstall_faults() it first")
+    HOOKS.faults = hook
+    return hook
+
+
+def uninstall_faults() -> None:
+    """Disarm fault injection (idempotent)."""
+    HOOKS.faults = None
+
+
+def active_faults() -> Optional[FaultHook]:
+    """The installed fault hook, or ``None`` when injection is off."""
+    return HOOKS.faults

@@ -24,6 +24,7 @@ from typing import Dict, List, Tuple
 from .stats import DRAMStats
 from ..config import DEFAULT_CONFIG
 from ..engine.component import Component
+from ..engine.tracing import HOOKS
 
 #: CPU cycles per DRAM command-clock cycle (2.67 GHz / 533 MHz).
 #: Owned by Table 2's SystemConfig.
@@ -112,6 +113,13 @@ class DRAM(Component):
             return T_CONTROLLER
         bank_index, row = self._map(address)
         done = self._service(self._banks[bank_index], row, now)
+        # Fault-injection site: a transient bit error on the read burst.
+        # The installed ECC model decides the outcome — SECDED corrects
+        # in the controller pipeline, detect-only parity retries the
+        # access — and returns the extra latency it charges.
+        if HOOKS.faults is not None:
+            return done - now + T_CONTROLLER + HOOKS.faults.on_dram_read(
+                address)
         return done - now + T_CONTROLLER
 
     def write(self, address: int, now: int = 0) -> int:

@@ -91,9 +91,30 @@ def run_document(manifest: RunManifest, data: Any, stats: Any = None,
 
 
 def write_json(path, doc: Dict[str, Any]) -> Path:
+    """Crash-safely write *doc* as sorted, indented JSON at *path*.
+
+    The document goes to a temporary sibling first and is moved into
+    place with :func:`os.replace` (atomic within a filesystem), so a
+    writer killed mid-write — or one that dies serialising — can never
+    leave a torn artifact where a good one stood: readers see the old
+    complete file or the new complete file, nothing in between.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    payload = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    scratch = path.with_name(f".{path.name}.tmp")
+    try:
+        with open(scratch, "w") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, path)
+    except BaseException:
+        try:
+            scratch.unlink()
+        except OSError:
+            pass
+        raise
     return path
 
 

@@ -2,10 +2,10 @@
 
 The container has no ``jsonschema`` package, so this module implements
 the small subset of JSON Schema the manifests need — ``type``,
-``required``, ``properties``, ``items``, ``enum``, ``minimum`` — as a
-recursive checker that reports *every* violation with its JSON path.
-CI uses it (via ``python -m repro.obs validate``) to gate the artifacts
-benchmarks upload.
+``required``, ``properties``, ``items``, ``enum``, ``minimum``,
+``additionalProperties: false`` — as a recursive checker that reports
+*every* violation with its JSON path.  CI uses it (via ``python -m
+repro.obs validate``) to gate the artifacts benchmarks upload.
 """
 
 from __future__ import annotations
@@ -29,6 +29,26 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
         "started_at": {"type": "string"},
         "duration_seconds": {"type": ["number", "null"]},
     },
+    "additionalProperties": False,
+}
+
+#: The reproducible half of a manifest (see
+#: :meth:`~repro.obs.manifest.RunManifest.deterministic_dict`): the
+#: environment fields are *absent*, which is what lets two reruns of the
+#: same campaign produce byte-identical artifacts.
+DETERMINISTIC_MANIFEST_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["run", "package", "format", "version", "rng_seed",
+                 "config"],
+    "properties": {
+        "run": {"type": "string"},
+        "package": {"type": "string", "enum": ["repro"]},
+        "format": {"type": "integer", "minimum": 1},
+        "version": {"type": "string"},
+        "rng_seed": {"type": "integer"},
+        "config": {"type": "object"},
+    },
+    "additionalProperties": False,
 }
 
 #: Schema of one ``results/*.json`` document: manifest + data payload,
@@ -154,6 +174,64 @@ PROFILE_SCHEMA: Dict[str, Any] = {
 }
 
 
+#: Outcome classes of one fault-campaign trial (mirrors
+#: ``repro.robust.campaign.OUTCOMES``; duplicated here because obs is a
+#: rank-1 layer and must not import the rank-3 robust package).
+FAULT_OUTCOMES = ("masked", "corrected", "detected_recovered",
+                  "silent_corruption", "crash")
+
+#: Schema of a ``results/*.faults.json`` fault-campaign document.  The
+#: manifest is the *deterministic* subset: same seed + same plan must
+#: reproduce the file byte for byte.
+FAULTS_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["kind", "name", "manifest", "plan", "parameters",
+                 "sweep", "outcome_totals"],
+    "properties": {
+        "kind": {"type": "string", "enum": ["fault_campaign"]},
+        "name": {"type": "string"},
+        "manifest": DETERMINISTIC_MANIFEST_SCHEMA,
+        "plan": {"type": "object"},
+        "parameters": {"type": "object"},
+        "sweep": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["rate", "outcomes", "trials"],
+                "properties": {
+                    "rate": {"type": "number", "minimum": 0},
+                    "outcomes": {"type": "object"},
+                    "trials": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["outcome", "detections",
+                                         "repairs", "faults"],
+                            "properties": {
+                                "outcome": {"type": "string",
+                                            "enum": list(FAULT_OUTCOMES)},
+                                "detections": {"type": "integer",
+                                               "minimum": 0},
+                                "repairs": {"type": "integer",
+                                            "minimum": 0},
+                                "recovery_cycles": {"type": "integer",
+                                                    "minimum": 0},
+                                "faults": {"type": "object"},
+                                "violations": {"type": "array"},
+                                "error": {"type": "string"},
+                                "fault_seed": {"type": "integer"},
+                            },
+                        },
+                    },
+                },
+            },
+        },
+        "outcome_totals": {"type": "object"},
+    },
+    "additionalProperties": False,
+}
+
+
 class SchemaError(ValueError):
     """Raised when a document does not match its schema."""
 
@@ -201,6 +279,10 @@ def schema_errors(doc: Any, schema: Dict[str, Any],
         for key, sub in schema.get("properties", {}).items():
             if key in doc and sub:
                 errors.extend(schema_errors(doc[key], sub, f"{path}.{key}"))
+        if schema.get("additionalProperties") is False:
+            allowed = schema.get("properties", {})
+            for key in sorted(set(doc) - set(allowed)):
+                errors.append(f"{path}: unknown key {key!r}")
     if isinstance(doc, list) and "items" in schema:
         for index, item in enumerate(doc):
             errors.extend(schema_errors(item, schema["items"],

@@ -24,6 +24,8 @@ class KernelStats:
     forks: int = 0
     pages_shared_on_fork: int = 0
     cow_breaks: int = 0
+    degradations: int = 0
+    pages_rescued_on_degradation: int = 0
 
 
 class Kernel:
@@ -153,6 +155,64 @@ class Kernel:
         for line in entry.obitvector.lines():
             data = self.system.line_bytes(src_asid, vpn, line)
             self.system.install_overlay_line(dst_asid, vpn, line, data)
+
+    # -- graceful degradation (repro.robust) -----------------------------------------------
+
+    def degrade_to_full_page_cow(self) -> int:
+        """Retire the overlay subsystem and fall back to full-page CoW.
+
+        The recovery of last resort: when fault detection concludes the
+        overlay hardware can no longer be trusted (repeated uncorrectable
+        mapping corruption), the kernel rescues every page that still has
+        overlay lines by promoting it ``copy-and-commit`` onto a fresh
+        frame — merging through :meth:`OverlaySystem.line_bytes`, which
+        still honours the (recovered) OMT state — then disables overlays
+        on every existing PTE and on the system, and installs the classic
+        full-page :class:`~repro.osmodel.cow.CopyOnWritePolicy` so future
+        CoW writes take the baseline path.  Returns the total latency
+        charged (promotions plus the shootdowns the PTE edits imply).
+        """
+        from .cow import CopyOnWritePolicy
+        self.system.mark_overlay_faulted()
+        latency = 0
+        for process in list(self.processes.values()):
+            for vpn in sorted(process.mappings):
+                if not self.system.overlay_line_count(process.asid, vpn):
+                    continue
+                old_ppn = process.mappings[vpn]
+                new_ppn = self.allocator.allocate()
+                latency += self.system.promote(process.asid, vpn,
+                                               "copy-and-commit",
+                                               new_ppn=new_ppn)
+                self._retarget_mapping(process, vpn, old_ppn, new_ppn)
+                self.stats.pages_rescued_on_degradation += 1
+        self.system.overlays_enabled = False
+        for process in self.processes.values():
+            for vpn in process.mappings:
+                self.system.update_mapping(process.asid, vpn,
+                                           overlays_enabled=False)
+                latency += self.system.coherence.shootdown_latency
+        self.install_cow_policy(CopyOnWritePolicy(self))
+        self.stats.degradations += 1
+        return latency
+
+    def _retarget_mapping(self, process: Process, vpn: int, old_ppn: int,
+                          new_ppn: int) -> None:
+        """Move frame bookkeeping after a promotion remapped *vpn*."""
+        process.mappings[vpn] = new_ppn
+        users = self.frame_users.get(old_ppn)
+        if users is not None:
+            users.discard((process.asid, vpn))
+            if not users:
+                del self.frame_users[old_ppn]
+        self.frame_users.setdefault(new_ppn, set()).add((process.asid, vpn))
+        remaining = self.allocator.release(old_ppn)
+        if remaining == 1 and users and len(users) == 1:
+            # The promotion broke a CoW share; the sole remaining sharer
+            # can drop its write protection (same rule as note_cow_copy).
+            sole_asid, sole_vpn = next(iter(users))
+            self.system.update_mapping(sole_asid, sole_vpn,
+                                       cow=False, writable=True)
 
     # -- CoW bookkeeping (called by the copy policy) ---------------------------------------
 

@@ -75,7 +75,12 @@ class SpeculationContext:
         if not self._open:
             raise SpeculationError("no speculation in progress")
         latency = self.kernel.system.write(self.process.asid, vaddr, data)
-        self._touched_vpns.add(page_number(vaddr))
+        # A store spanning a page boundary touches every page it covers;
+        # recording only the first would leave the tail page's overlay
+        # alive across an abort (memory would not revert).
+        last = page_number(vaddr + max(len(data), 1) - 1)
+        for vpn in range(page_number(vaddr), last + 1):
+            self._touched_vpns.add(vpn)
         self._note_peak()
         return latency
 

@@ -35,17 +35,33 @@ class TestExports:
 
 class TestLayering:
     def test_core_does_not_import_higher_layers(self):
-        """repro.core must be usable without techniques/eval/osmodel."""
-        for name in list(sys.modules):
-            if name.startswith("repro"):
+        """repro.core must be usable without techniques/eval/osmodel.
+
+        The already-imported modules are restored afterwards: leaving
+        fresh copies in ``sys.modules`` would split later tests across
+        two module worlds (their imports bound to the old copies, call
+        -time deferred imports resolving to the new ones), breaking
+        every process-wide singleton such as the engine's hook slots.
+        """
+        saved = {name: module for name, module in sys.modules.items()
+                 if name.startswith("repro")}
+        for name in saved:
+            del sys.modules[name]
+        try:
+            importlib.import_module("repro.core")
+            loaded = [name for name in sys.modules
+                      if name.startswith("repro")]
+            for forbidden in ("repro.techniques", "repro.eval",
+                              "repro.osmodel", "repro.sparse",
+                              "repro.workloads"):
+                assert not any(name.startswith(forbidden)
+                               for name in loaded), (
+                    f"repro.core transitively imports {forbidden}")
+        finally:
+            for name in [candidate for candidate in sys.modules
+                         if candidate.startswith("repro")]:
                 del sys.modules[name]
-        importlib.import_module("repro.core")
-        loaded = [name for name in sys.modules if name.startswith("repro")]
-        for forbidden in ("repro.techniques", "repro.eval",
-                          "repro.osmodel", "repro.sparse",
-                          "repro.workloads"):
-            assert not any(name.startswith(forbidden) for name in loaded), (
-                f"repro.core transitively imports {forbidden}")
+            sys.modules.update(saved)
 
     def test_config_importable_standalone(self):
         from repro.config import DEFAULT_CONFIG
