@@ -376,6 +376,112 @@ def check_component_protocol(module: SourceModule,
                 symbol=f"{node.name}:init")
 
 
+# ---------------------------------------------------------------------------
+# SL006 — hot-path memory discipline
+# ---------------------------------------------------------------------------
+
+#: Module-level marker comment opting a file into SL006.  It lives in the
+#: file head (before the docstring ends) rather than in the AST, so the
+#: rule sniffs the first few source lines.
+_HOT_PATH_MARKER = re.compile(r"#\s*simlint:\s*hot-path\b")
+
+#: How many leading lines may carry the marker.
+_MARKER_WINDOW = 5
+
+_EXCEPTION_BASES = {"Exception", "BaseException", "RuntimeError",
+                    "ValueError", "TypeError", "KeyError", "OSError",
+                    "ArithmeticError", "LookupError"}
+
+
+def _module_is_hot_path(module: SourceModule) -> bool:
+    try:
+        with open(module.path, "r") as handle:
+            for _ in range(_MARKER_WINDOW):
+                line = handle.readline()
+                if not line:
+                    break
+                if _HOT_PATH_MARKER.search(line):
+                    return True
+    except OSError:
+        return False
+    return False
+
+
+def _base_names(node: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _is_exception_class(node: ast.ClassDef) -> bool:
+    return any(name in _EXCEPTION_BASES
+               or name.endswith("Error") or name.endswith("Exception")
+               or name.endswith("Fault") or name.endswith("Warning")
+               for name in _base_names(node))
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        chain = _attribute_chain(target)
+        if chain and chain[-1] == "dataclass":
+            return True
+    return False
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for child in node.body:
+        if isinstance(child, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__slots__"
+                   for t in child.targets):
+                return True
+        elif (isinstance(child, ast.AnnAssign)
+              and isinstance(child.target, ast.Name)
+              and child.target.id == "__slots__"):
+            return True
+    return False
+
+
+@rule("SL006", "hot-path memory: classes in '# simlint: hot-path' modules "
+               "declare __slots__")
+def check_hot_path_slots(module: SourceModule,
+                         project: Project) -> Iterator[Finding]:
+    """Instance dicts on per-access objects dominate simulator memory.
+
+    A module opts in with a ``# simlint: hot-path`` comment in its first
+    few lines; every top-level class there must then declare
+    ``__slots__``.  Exempt: dataclasses (Python 3.9 cannot combine the
+    decorator with ``__slots__`` and field defaults, and the stats
+    blocks' ``vars()``-based snapshots need the instance dict),
+    ``Component`` subclasses (the component tree relies on the instance
+    dict), and exception classes.
+    """
+    if not _module_is_hot_path(module):
+        return
+    components = project.component_classes
+    for node in module.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.name in components or node.name == "Component":
+            continue
+        if _is_dataclass(node) or _is_exception_class(node):
+            continue
+        if _declares_slots(node):
+            continue
+        yield Finding(
+            code="SL006", path=module.display_path,
+            line=node.lineno, col=node.col_offset,
+            message=(f"class {node.name!r} in a hot-path module has no "
+                     f"__slots__; per-access instances grow a dict each — "
+                     f"declare __slots__ or exempt the module"),
+            symbol=f"{node.name}:__slots__")
+
+
 # SL004 is graph-global (it needs every module at once); the spec is
 # registered here so rule listings and --select stay uniform.
 RULES["SL004"] = RuleSpec(

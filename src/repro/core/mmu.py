@@ -1,3 +1,4 @@
+# simlint: hot-path
 """The MMU (per-core translation path) and the overlay-aware memory
 controller — the microarchitecture of Figure 6.
 
@@ -22,8 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from .address import (LINE_SIZE, LINES_PER_PAGE, overlay_page_number,
-                      tag_is_overlay)
+from .address import (LINE_SIZE, LINES_PER_PAGE, OVERLAY_BIT_MASK,
+                      overlay_page_number, tag_is_overlay)
 from .obitvector import OBitVector
 from .omt import OMTCache, OMTEntry, OverlayMappingTable
 from .oms import OverlayMemoryStore, ZERO_LINE
@@ -37,6 +38,11 @@ from ..engine.component import Component
 #: Cycles per table-walk memory access (an uncontended row-miss DRAM
 #: read).  Owned by Table 2's SystemConfig.
 MEMORY_ACCESS_CYCLES = DEFAULT_CONFIG.table_walk_access_cycles
+
+#: The overlay bit's position within a line *tag* (a tag is the line
+#: address shifted right by 6) — ``tag & _OVERLAY_TAG_BIT`` is
+#: :func:`~repro.core.address.tag_is_overlay` without the call.
+_OVERLAY_TAG_BIT = OVERLAY_BIT_MASK >> 6
 
 
 @dataclass
@@ -91,9 +97,9 @@ class MemoryController(Component):
         remapped line whose only copy is still dirty in some cache, or a
         never-written overlay line, which reads as zero).
         """
-        if not tag_is_overlay(tag):
+        if not tag & _OVERLAY_TAG_BIT:
             return tag * LINE_SIZE, 0
-        opn, line = self._split(tag)
+        opn, line = tag >> 6, tag & 63
         entry, accesses = self.omt_cache.lookup(opn)
         latency = accesses * MEMORY_ACCESS_CYCLES
         if entry is None or entry.segment is None or not entry.segment.has_line(line):
@@ -109,9 +115,15 @@ class MemoryController(Component):
     def fetch_data(self, tag: int) -> Optional[bytes]:
         """Return backing bytes for a missing line (no latency charged —
         :meth:`resolve_miss` already accounted for the lookups)."""
-        page, line = self._split(tag)
-        if not tag_is_overlay(tag):
-            return self.main_memory.read_line(page, line)
+        page, line = tag >> 6, tag & 63
+        if not tag & _OVERLAY_TAG_BIT:
+            # MainMemory.read_line inlined — ``line`` is 0..63 by
+            # construction, so the bounds check is statically satisfied.
+            frame = self.main_memory._frames.get(page)
+            if frame is None:
+                return ZERO_LINE
+            start = line << 6
+            return bytes(frame[start:start + LINE_SIZE])
         entry = self.omt.lookup(page)
         if entry is None or entry.segment is None or not entry.segment.has_line(line):
             self.stats.zero_line_fills += 1
@@ -127,9 +139,9 @@ class MemoryController(Component):
         the execution critical path (Section 4.4: "these operations are
         rare and are not on the critical path of execution").
         """
-        page, line = self._split(tag)
+        page, line = tag >> 6, tag & 63
         payload = data if data is not None else ZERO_LINE
-        if not tag_is_overlay(tag):
+        if not tag & _OVERLAY_TAG_BIT:
             self.main_memory.write_line(page, line, payload)
             self.stats.physical_writebacks += 1
             return self.dram.write(tag * LINE_SIZE, self._now)
@@ -170,17 +182,32 @@ class MemoryController(Component):
             self.oms.free_segment(entry.segment)
 
 
-@dataclass
 class TranslationResult:
     """What the MMU hands back to the load/store pipeline."""
 
-    entry: TLBEntry
-    latency: int
-    tlb_hit: bool
+    __slots__ = ("entry", "latency", "tlb_hit")
+
+    def __init__(self, entry: TLBEntry, latency: int, tlb_hit: bool):
+        self.entry = entry
+        self.latency = latency
+        self.tlb_hit = tlb_hit
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TranslationResult):
+            return (self.entry == other.entry
+                    and self.latency == other.latency
+                    and self.tlb_hit == other.tlb_hit)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"TranslationResult(entry={self.entry!r}, "
+                f"latency={self.latency}, tlb_hit={self.tlb_hit})")
 
 
 class MMU:
     """Per-core address translation: TLB + page walk + OBitVector fill."""
+
+    __slots__ = ("tlb", "page_tables", "controller")
 
     def __init__(self, tlb: TLB, page_tables: Dict[int, PageTable],
                  controller: MemoryController):
@@ -199,6 +226,18 @@ class MMU:
         entry, latency = self.tlb.lookup(asid, vpn)
         if entry is not None:
             return TranslationResult(entry=entry, latency=latency, tlb_hit=True)
+        entry, latency = self.translate_miss(asid, vpn, write, latency)
+        return TranslationResult(entry=entry, latency=latency, tlb_hit=False)
+
+    def translate_miss(self, asid: int, vpn: int, write: bool,
+                       latency: int) -> Tuple[TLBEntry, int]:
+        """The TLB-miss half of :meth:`translate`: walk, OMT fetch, fill.
+
+        *latency* is the cycles already charged by the failed TLB lookup;
+        returns ``(entry, total_latency)`` without wrapping a
+        :class:`TranslationResult` — the batched engine calls this
+        directly after its own inline TLB probe misses.
+        """
         table = self.page_tables.get(asid)
         if table is None:
             raise KeyError(f"no page table registered for ASID {asid}")
@@ -210,7 +249,7 @@ class MMU:
             latency += omt_latency
             obitvector = omt_entry.obitvector
         entry = self.tlb.fill(asid, vpn, pte, obitvector)
-        return TranslationResult(entry=entry, latency=latency, tlb_hit=False)
+        return entry, latency
 
     def refresh(self, asid: int, vpn: int) -> None:
         """Drop a cached translation after the OS edits the PTE."""

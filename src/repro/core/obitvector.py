@@ -1,3 +1,4 @@
+# simlint: hot-path
 """The overlay bit vector (OBitVector).
 
 Section 3.1 (Challenge 1): to decide whether an accessed cache line lives

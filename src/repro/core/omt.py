@@ -1,3 +1,4 @@
+# simlint: hot-path
 """The Overlay Mapping Table (OMT) and its cache — Sections 4.2 and 4.4.4.
 
 The OMT maps each page of the Overlay Address Space (identified by its
@@ -70,6 +71,8 @@ class OMTStats:
 class OverlayMappingTable:
     """The in-memory, hierarchical OMT managed by the memory controller."""
 
+    __slots__ = ("_entries",)
+
     def __init__(self):
         self._entries: Dict[int, OMTEntry] = {}
 
@@ -109,6 +112,8 @@ class OMTCache:
     metadata travels with the :class:`~repro.core.oms.Segment` object, so
     we only account for the extra memory access.
     """
+
+    __slots__ = ("_omt", "_capacity", "_walk_levels", "_lines", "stats")
 
     def __init__(self, omt: OverlayMappingTable, capacity: int = 64,
                  walk_levels: int = OMT_WALK_LEVELS):

@@ -19,7 +19,7 @@ super-page technique (Section 5.3.5) has a substrate to build on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Tuple
 
 
@@ -56,7 +56,16 @@ class PTE:
     superpage: bool = False
 
     def with_flags(self, **changes) -> "PTE":
-        return replace(self, **changes)
+        # Direct construction — dataclasses.replace() re-derives the
+        # field list on every call, and fork marks every mapping CoW.
+        return PTE(
+            ppn=changes.get("ppn", self.ppn),
+            present=changes.get("present", self.present),
+            writable=changes.get("writable", self.writable),
+            cow=changes.get("cow", self.cow),
+            overlays_enabled=changes.get("overlays_enabled",
+                                         self.overlays_enabled),
+            superpage=changes.get("superpage", self.superpage))
 
 
 @dataclass

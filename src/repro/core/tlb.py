@@ -1,3 +1,4 @@
+# simlint: hot-path
 """Two-level TLB extended with the overlay bit vector (Ì in Figure 6).
 
 Each TLB entry is widened by the 64-bit ``OBitVector`` of its virtual page
@@ -17,8 +18,9 @@ baseline it replaces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from .obitvector import OBitVector
 from ..engine.tracing import HOOKS
@@ -27,18 +29,36 @@ from ..config import DEFAULT_CONFIG
 from ..engine.component import Component
 
 
-@dataclass
 class TLBEntry:
-    """A cached translation plus its overlay state."""
+    """A cached translation plus its overlay state.
 
-    asid: int
-    vpn: int
-    pte: PTE
-    obitvector: OBitVector = field(default_factory=OBitVector)
+    A slotted value type: one is allocated per TLB fill, and the batched
+    engine reads its fields on every access.
+    """
+
+    __slots__ = ("asid", "vpn", "pte", "obitvector")
+
+    def __init__(self, asid: int, vpn: int, pte: PTE,
+                 obitvector: Optional[OBitVector] = None):
+        self.asid = asid
+        self.vpn = vpn
+        self.pte = pte
+        self.obitvector = obitvector if obitvector is not None else OBitVector()
 
     @property
     def key(self) -> Tuple[int, int]:
         return (self.asid, self.vpn)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TLBEntry):
+            return (self.asid == other.asid and self.vpn == other.vpn
+                    and self.pte == other.pte
+                    and self.obitvector == other.obitvector)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"TLBEntry(asid={self.asid}, vpn={self.vpn:#x}, "
+                f"pte={self.pte!r}, obitvector={self.obitvector!r})")
 
 
 @dataclass
@@ -60,56 +80,58 @@ class TLBStats:
 
 
 class _SetAssociativeArray:
-    """A set-associative array of TLB entries with per-set LRU."""
+    """A set-associative array of TLB entries with per-set LRU.
+
+    Each set is an :class:`~collections.OrderedDict` keyed by
+    ``(asid, vpn)`` in LRU order (least recent first): a hit is one
+    ``get`` plus ``move_to_end``, an eviction is ``popitem(last=False)``
+    — the same LRU semantics as the previous per-set lists, without the
+    linear probe.  The batched engine probes the buckets directly.
+    """
+
+    __slots__ = ("_sets", "_ways", "_buckets")
 
     def __init__(self, entries: int, ways: int):
         if entries % ways:
             raise ValueError("entry count must be a multiple of associativity")
         self._sets = entries // ways
         self._ways = ways
-        # Each set is an LRU-ordered list, most recent last.
-        self._array: List[List[TLBEntry]] = [[] for _ in range(self._sets)]
-        self._index: Dict[Tuple[int, int], int] = {}
+        self._buckets: List["OrderedDict[Tuple[int, int], TLBEntry]"] = [
+            OrderedDict() for _ in range(self._sets)]
 
     def _set_for(self, key: Tuple[int, int]) -> int:
         asid, vpn = key
         return (vpn ^ asid) % self._sets
 
     def lookup(self, key: Tuple[int, int]) -> Optional[TLBEntry]:
-        bucket = self._array[self._set_for(key)]
-        for i, entry in enumerate(bucket):
-            if entry.key == key:
-                bucket.append(bucket.pop(i))
-                return entry
-        return None
+        bucket = self._buckets[(key[1] ^ key[0]) % self._sets]
+        entry = bucket.get(key)
+        if entry is not None:
+            bucket.move_to_end(key)
+        return entry
 
     def insert(self, entry: TLBEntry) -> Optional[TLBEntry]:
         """Insert *entry*; return the victim evicted, if any."""
-        bucket = self._array[self._set_for(entry.key)]
+        key = (entry.asid, entry.vpn)
+        bucket = self._buckets[(key[1] ^ key[0]) % self._sets]
         victim = None
-        for i, existing in enumerate(bucket):
-            if existing.key == entry.key:
-                bucket.pop(i)
-                break
-        else:
-            if len(bucket) >= self._ways:
-                victim = bucket.pop(0)
-        bucket.append(entry)
+        if key in bucket:
+            del bucket[key]
+        elif len(bucket) >= self._ways:
+            victim = bucket.popitem(last=False)[1]
+        bucket[key] = entry
         return victim
 
     def invalidate(self, key: Tuple[int, int]) -> bool:
-        bucket = self._array[self._set_for(key)]
-        for i, entry in enumerate(bucket):
-            if entry.key == key:
-                bucket.pop(i)
-                return True
-        return False
+        bucket = self._buckets[(key[1] ^ key[0]) % self._sets]
+        return bucket.pop(key, None) is not None
 
     def entries(self) -> List[TLBEntry]:
-        return [entry for bucket in self._array for entry in bucket]
+        return [entry for bucket in self._buckets
+                for entry in bucket.values()]
 
     def flush(self) -> None:
-        for bucket in self._array:
+        for bucket in self._buckets:
             bucket.clear()
 
 

@@ -1,3 +1,4 @@
+# simlint: hot-path
 """Memory-access traces for the trace-driven CPU model.
 
 A trace is a sequence of :class:`MemoryAccess` records.  Each record
@@ -33,20 +34,43 @@ class TraceParseError(ValueError):
         self.reason = reason
 
 
-@dataclass(frozen=True)
 class MemoryAccess:
-    """One load or store in a trace."""
+    """One load or store in a trace.
 
-    vaddr: int
-    write: bool = False
-    size: int = 8
-    data: Optional[bytes] = None
-    gap: int = 3  # non-memory instructions preceding this access
+    A slotted value type — traces hold millions of these, and the
+    batched engine reads their fields in its innermost loop.  Equality
+    and hashing follow the old frozen-dataclass semantics (field
+    tuples); treat instances as immutable.
+    """
+
+    __slots__ = ("vaddr", "write", "size", "data", "gap")
+
+    def __init__(self, vaddr: int, write: bool = False, size: int = 8,
+                 data: Optional[bytes] = None, gap: int = 3):
+        self.vaddr = vaddr
+        self.write = write
+        self.size = size
+        self.data = data
+        self.gap = gap  # non-memory instructions preceding this access
 
     @property
     def instructions(self) -> int:
         """Instructions this record represents (the access + its gap)."""
         return self.gap + 1
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MemoryAccess):
+            return (self.vaddr == other.vaddr and self.write == other.write
+                    and self.size == other.size and self.data == other.data
+                    and self.gap == other.gap)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.vaddr, self.write, self.size, self.data, self.gap))
+
+    def __repr__(self) -> str:
+        return (f"MemoryAccess(vaddr={self.vaddr:#x}, write={self.write}, "
+                f"size={self.size}, data={self.data!r}, gap={self.gap})")
 
 
 @dataclass

@@ -27,6 +27,9 @@ this repository needs and previously reimplemented by hand:
 """
 
 from . import tracing
+from .batch import (AccessBatch, BatchEngine, DEFAULT_BATCH_SIZE,
+                    default_engine_mode, iter_batches, resolve_engine_mode,
+                    set_default_engine_mode)
 from .clock import (ClockCursor, ClockError, SimClock, SimulationHangError,
                     default_max_cycles, set_default_max_cycles)
 from .component import Component
@@ -38,6 +41,9 @@ from .rng import derive_rng, resolve_seed
 from .tracing import CycleSampler, FaultHook, TraceError, TraceSink
 
 __all__ = [
+    "AccessBatch", "BatchEngine", "DEFAULT_BATCH_SIZE",
+    "default_engine_mode", "iter_batches", "resolve_engine_mode",
+    "set_default_engine_mode",
     "ClockCursor", "ClockError", "SimClock", "SimulationHangError",
     "default_max_cycles", "set_default_max_cycles",
     "Component",

@@ -1,3 +1,4 @@
+# simlint: hot-path
 """Typed request/response ports between components.
 
 The cache hierarchy used to reach the memory controller through three
@@ -15,8 +16,7 @@ controller's Overlay-Memory-Store ports reuse it directly).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional
 
 from .stats import StatsRegistry
 from .tracing import HOOKS
@@ -26,7 +26,6 @@ class PortError(RuntimeError):
     """Raised when a port is used before a handler is connected."""
 
 
-@dataclass(frozen=True)
 class MissResolution:
     """Response of a miss-resolution request: where the line lives.
 
@@ -36,13 +35,28 @@ class MissResolution:
     cost (OMT walks on the overlay path).
     """
 
-    address: Optional[int]
-    latency: int = 0
+    __slots__ = ("address", "latency")
+
+    def __init__(self, address: Optional[int], latency: int = 0):
+        self.address = address
+        self.latency = latency
 
     def __iter__(self):
         # Unpacks like the legacy ``(address, latency)`` tuple.
         yield self.address
         yield self.latency
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MissResolution):
+            return (self.address == other.address
+                    and self.latency == other.latency)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.address, self.latency))
+
+    def __repr__(self) -> str:
+        return f"MissResolution(address={self.address}, latency={self.latency})"
 
 
 class Port:
@@ -59,6 +73,8 @@ class Port:
         Optional stats scope to count this port's traffic under; the
         port registers ``<name>_requests`` and ``<name>_latency``.
     """
+
+    __slots__ = ("name", "_handler", "_requests", "_latency")
 
     def __init__(self, name: str, handler: Optional[Callable] = None,
                  scope: Optional[StatsRegistry] = None):
@@ -109,6 +125,8 @@ class Port:
 class MissPort(Port):
     """Hierarchy -> controller: resolve a missing line tag to DRAM."""
 
+    __slots__ = ()
+
     def resolve(self, tag: int) -> MissResolution:
         response = self._serve(tag)
         if not isinstance(response, MissResolution):
@@ -125,6 +143,8 @@ class MissPort(Port):
 class FetchPort(Port):
     """Hierarchy -> controller: backing bytes for a line on a full miss."""
 
+    __slots__ = ()
+
     def fetch(self, tag: int) -> Optional[bytes]:
         if HOOKS.active is not None:
             HOOKS.active.emit(None, "port", self.name,
@@ -138,6 +158,8 @@ class WritebackPort(Port):
     The handler consumes the payload (frame or Overlay Memory Store) and
     returns the background-traffic latency it charged.
     """
+
+    __slots__ = ()
 
     def writeback(self, tag: int, data: Optional[bytes]) -> int:
         latency = self._serve(tag, data)

@@ -1,3 +1,4 @@
+# simlint: hot-path
 """A set-associative cache with pluggable replacement and data payloads.
 
 Caches here are keyed by *line tags* — globally unique integers derived
@@ -15,32 +16,44 @@ the hierarchy; timing-only workloads pass ``None``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from .replacement import make_policy
+from .replacement import LRUPolicy, make_policy
 from .stats import CacheStats
 from ..config import DEFAULT_CONFIG
 from ..engine.component import Component
 
 
-@dataclass
 class CacheLine:
     """One resident line: tag, dirtiness, and optional payload."""
 
-    tag: int
-    dirty: bool = False
-    data: Optional[bytes] = None
-    prefetched: bool = False
+    __slots__ = ("tag", "dirty", "data", "prefetched")
+
+    def __init__(self, tag: int, dirty: bool = False,
+                 data: Optional[bytes] = None, prefetched: bool = False):
+        self.tag = tag
+        self.dirty = dirty
+        self.data = data
+        self.prefetched = prefetched
+
+    def __repr__(self) -> str:
+        return (f"CacheLine(tag={self.tag}, dirty={self.dirty}, "
+                f"data={self.data!r}, prefetched={self.prefetched})")
 
 
-@dataclass
 class EvictedLine:
     """What falls out of a cache on a fill."""
 
-    tag: int
-    dirty: bool
-    data: Optional[bytes]
+    __slots__ = ("tag", "dirty", "data")
+
+    def __init__(self, tag: int, dirty: bool, data: Optional[bytes]):
+        self.tag = tag
+        self.dirty = dirty
+        self.data = data
+
+    def __repr__(self) -> str:
+        return (f"EvictedLine(tag={self.tag}, dirty={self.dirty}, "
+                f"data={self.data!r})")
 
 
 class SetAssociativeCache(Component):
@@ -68,25 +81,23 @@ class SetAssociativeCache(Component):
         self.data_latency = data_latency
         self.serial_tag_data = serial_tag_data
         self._policy = make_policy(policy, self.num_sets, ways)
+        # The batched fast path inlines LRU bookkeeping; any other policy
+        # goes through the policy object's methods.
+        self._policy_is_lru = type(self._policy) is LRUPolicy
         self._lines: List[List[Optional[CacheLine]]] = [
             [None] * ways for _ in range(self.num_sets)]
         self._where: Dict[int, Tuple[int, int]] = {}
+        # Lines resident per set: lets fill() skip the free-way scan once
+        # a set is full (the steady state), going straight to eviction.
+        self._occupancy: List[int] = [0] * self.num_sets
+        # Precomputed ints so hot paths avoid the property dispatch.
+        if serial_tag_data:
+            self.hit_latency = tag_latency + data_latency
+        else:
+            self.hit_latency = max(tag_latency, data_latency)
+        self.miss_latency = tag_latency
         self.stats = CacheStats(name=name)
         self.stats_scope.own_block(self.stats)
-
-    # -- latency helpers -----------------------------------------------------
-
-    @property
-    def hit_latency(self) -> int:
-        """Latency of a hit, honouring serial vs parallel tag/data lookup."""
-        if self.serial_tag_data:
-            return self.tag_latency + self.data_latency
-        return max(self.tag_latency, self.data_latency)
-
-    @property
-    def miss_latency(self) -> int:
-        """Latency spent in this level before a miss proceeds downward."""
-        return self.tag_latency
 
     # -- core operations -------------------------------------------------------
 
@@ -115,7 +126,12 @@ class SetAssociativeCache(Component):
             return False, self.miss_latency
         set_index, way = where
         line = self._lines[set_index][way]
-        self._policy.on_hit(set_index, way)
+        if self._policy_is_lru:
+            policy = self._policy
+            policy._clock += 1
+            policy._last_use[set_index][way] = policy._clock
+        else:
+            self._policy.on_hit(set_index, way)
         self.stats.hits += 1
         if line.prefetched:
             self.stats.prefetch_hits += 1
@@ -129,34 +145,63 @@ class SetAssociativeCache(Component):
     def fill(self, tag: int, data: Optional[bytes] = None,
              dirty: bool = False, prefetch: bool = False) -> Optional[EvictedLine]:
         """Install *tag*, returning the evicted line if one fell out."""
-        if tag in self._where:
+        where_map = self._where
+        where = where_map.get(tag)
+        if where is not None:
             # Refill of a resident line (e.g. prefetch raced demand): merge.
-            set_index, way = self._where[tag]
-            line = self._lines[set_index][way]
-            line.dirty = line.dirty or dirty
+            line = self._lines[where[0]][where[1]]
+            if dirty:
+                line.dirty = True
             if data is not None:
                 line.data = data
             return None
-        set_index = self._set_index(tag)
+        set_index = tag % self.num_sets
         bucket = self._lines[set_index]
-        occupied = [entry is not None for entry in bucket]
-        way = self._policy.victim(set_index, occupied)
-        victim = bucket[way]
+        policy = self._policy
+        stats = self.stats
+        is_lru = self._policy_is_lru
         evicted = None
-        if victim is not None:
-            del self._where[victim.tag]
-            self.stats.evictions += 1
+        occupancy = self._occupancy
+        if occupancy[set_index] < self.ways:
+            way = bucket.index(None)  # first free way, as victim() picks
+            occupancy[set_index] += 1
+            bucket[way] = CacheLine(tag=tag, dirty=dirty, data=data,
+                                    prefetched=prefetch)
+        else:
+            if is_lru:
+                # Inlined LRUPolicy.victim_full: oldest stamp,
+                # first-of-equals (matching min()'s tie-break).
+                stamps = policy._last_use[set_index]
+                way = 0
+                best = stamps[0]
+                for i in range(1, self.ways):
+                    stamp = stamps[i]
+                    if stamp < best:
+                        best = stamp
+                        way = i
+            else:
+                way = policy.victim_full(set_index)
+            victim = bucket[way]
+            del where_map[victim.tag]
+            stats.evictions += 1
             if victim.dirty:
-                self.stats.dirty_evictions += 1
+                stats.dirty_evictions += 1
             evicted = EvictedLine(tag=victim.tag, dirty=victim.dirty,
                                   data=victim.data)
-        bucket[way] = CacheLine(tag=tag, dirty=dirty, data=data,
-                                prefetched=prefetch)
-        self._where[tag] = (set_index, way)
-        self._policy.on_fill(set_index, way, prefetch=prefetch)
-        self.stats.fills += 1
+            # Reuse the victim's CacheLine object for the incoming line.
+            victim.tag = tag
+            victim.dirty = dirty
+            victim.data = data
+            victim.prefetched = prefetch
+        where_map[tag] = (set_index, way)
+        if is_lru:
+            policy._clock += 1
+            policy._last_use[set_index][way] = policy._clock
+        else:
+            policy.on_fill(set_index, way, prefetch=prefetch)
+        stats.fills += 1
         if prefetch:
-            self.stats.prefetch_fills += 1
+            stats.prefetch_fills += 1
         return evicted
 
     def invalidate(self, tag: int) -> Optional[EvictedLine]:
@@ -167,6 +212,7 @@ class SetAssociativeCache(Component):
         set_index, way = where
         line = self._lines[set_index][way]
         self._lines[set_index][way] = None
+        self._occupancy[set_index] -= 1
         self.stats.invalidations += 1
         return EvictedLine(tag=line.tag, dirty=line.dirty, data=line.data)
 
@@ -192,6 +238,7 @@ class SetAssociativeCache(Component):
             return True
         # Cross-set move: evict from the old slot, fill into the new set.
         self._lines[set_index][way] = None
+        self._occupancy[set_index] -= 1
         del self._where[old_tag]
         self.fill(new_tag, data=line.data, dirty=line.dirty)
         return True

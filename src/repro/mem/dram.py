@@ -1,3 +1,4 @@
+# simlint: hot-path
 """DDR3-1066 DRAM timing model with FR-FCFS-style write drains — Table 2.
 
 Configuration reproduced from the paper: DDR3-1066 [28], one channel, one
@@ -45,10 +46,12 @@ ROW_BUFFER_BYTES = 8192
 NUM_BANKS = 8
 
 
-@dataclass
 class _Bank:
-    open_row: int = -1
-    ready_at: int = 0
+    __slots__ = ("open_row", "ready_at")
+
+    def __init__(self, open_row: int = -1, ready_at: int = 0):
+        self.open_row = open_row
+        self.ready_at = ready_at
 
 
 @dataclass
@@ -107,12 +110,30 @@ class DRAM(Component):
         latency — the FR-FCFS controller prioritises row-hit reads and
         services them around buffered writes.
         """
-        self.stats.reads += 1
+        stats = self.stats
+        stats.reads += 1
         line = address & ~63
         if line in self._write_buffer:
             return T_CONTROLLER
-        bank_index, row = self._map(address)
-        done = self._service(self._banks[bank_index], row, now)
+        row_index = address // ROW_BUFFER_BYTES
+        bank = self._banks[row_index % NUM_BANKS]
+        row = row_index // NUM_BANKS
+        # _service inlined: the read path is the hierarchy's hot exit.
+        ready = bank.ready_at
+        start = now if now > ready else ready
+        if bank.open_row == row:
+            stats.row_hits += 1
+            occupancy = T_BURST
+        elif bank.open_row == -1:
+            stats.row_misses += 1
+            occupancy = T_RCD + T_BURST
+        else:
+            stats.row_misses += 1
+            occupancy = T_RP + T_RCD + T_BURST
+        bank.open_row = row
+        bank.ready_at = start + occupancy
+        stats.busy_cycles += occupancy
+        done = start + occupancy + T_CAS
         # Fault-injection site: a transient bit error on the read burst.
         # The installed ECC model decides the outcome — SECDED corrects
         # in the controller pipeline, detect-only parity retries the
@@ -133,8 +154,7 @@ class DRAM(Component):
         """
         self.stats.writes += 1
         line = address & ~63
-        bank_index, _ = self._map(address)
-        self._write_buffer[line] = bank_index
+        self._write_buffer[line] = (address // ROW_BUFFER_BYTES) % NUM_BANKS
         self.stats.write_buffer_peak = max(self.stats.write_buffer_peak,
                                            len(self._write_buffer))
         if len(self._write_buffer) >= self.write_buffer_capacity:

@@ -22,9 +22,9 @@ Overlay Memory Store is accessed only when an access misses the entire
 hierarchy).
 """
 
+# simlint: hot-path
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from .cache import EvictedLine, SetAssociativeCache
@@ -32,6 +32,7 @@ from .dram import DRAM
 from .prefetcher import StreamPrefetcher
 from ..engine.component import Component
 from ..engine.port import FetchPort, MissPort, MissResolution, WritebackPort
+from ..engine.tracing import HOOKS
 
 #: Hook resolving a line tag to ``(dram_byte_address, extra_latency)``.
 #: (Legacy alias — handlers now connect to :attr:`MemoryHierarchy.miss_port`.)
@@ -43,16 +44,27 @@ DataFetcher = Callable[[int], Optional[bytes]]
 WritebackHandler = Callable[[int, Optional[bytes]], int]
 
 
-@dataclass
 class AccessResult:
     """Outcome of one hierarchy access."""
 
-    latency: int
-    level: str  # "L1", "L2", "L3", or "MEM"
+    __slots__ = ("latency", "level")
+
+    def __init__(self, latency: int, level: str):
+        self.latency = latency
+        self.level = level  # "L1", "L2", "L3", or "MEM"
 
     @property
     def hit_in_cache(self) -> bool:
         return self.level != "MEM"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AccessResult):
+            return (self.latency == other.latency
+                    and self.level == other.level)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"AccessResult(latency={self.latency}, level={self.level!r})"
 
 
 class MemoryHierarchy(Component):
@@ -129,9 +141,15 @@ class MemoryHierarchy(Component):
     def _fill_upward(self, tag: int, data: Optional[bytes],
                      dirty: bool = False) -> None:
         """Install a fetched line into L3, L2 and L1, spilling victims."""
-        self._spill(self.l3, self.l3.fill(tag, data=data, dirty=False))
-        self._spill(self.l2, self.l2.fill(tag, data=data, dirty=False))
-        self._spill(self.l1, self.l1.fill(tag, data=data, dirty=dirty))
+        evicted = self.l3.fill(tag, data=data, dirty=False)
+        if evicted is not None and evicted.dirty:
+            self._spill(self.l3, evicted)
+        evicted = self.l2.fill(tag, data=data, dirty=False)
+        if evicted is not None and evicted.dirty:
+            self._spill(self.l2, evicted)
+        evicted = self.l1.fill(tag, data=data, dirty=dirty)
+        if evicted is not None and evicted.dirty:
+            self._spill(self.l1, evicted)
 
     # -- the demand path --------------------------------------------------------
 
@@ -144,67 +162,161 @@ class MemoryHierarchy(Component):
         """
         if now is not None:
             self._now = now
-        latency = 0
 
         hit, cycles = self.l1.access(tag, write=write, data=data)
-        latency += cycles
         if hit:
-            return AccessResult(latency=latency, level="L1")
+            return AccessResult(latency=cycles, level="L1")
+        below, level = self._access_below_l1(tag, write, data)
+        return AccessResult(latency=cycles + below, level=level)
 
-        hit, cycles = self.l2.access(tag, write=False)
-        latency += cycles
-        if hit:
-            line = self.l2.lookup(tag)
+    def access_fast(self, tag: int, write: bool = False,
+                    data: Optional[bytes] = None,
+                    now: Optional[int] = None) -> int:
+        """Latency-only twin of :meth:`access` for the batched engine.
+
+        Inlines the L1 probe (dict lookup, LRU touch, stats) so the
+        overwhelmingly common L1 hit costs no method dispatch; everything
+        below the L1 is the exact same code path :meth:`access` takes, so
+        stats and cache state stay byte-identical between the two.
+        """
+        if now is not None:
+            self._now = now
+        l1 = self.l1
+        where = l1._where.get(tag)
+        if where is not None:
+            set_index, way = where
+            line = l1._lines[set_index][way]
+            if l1._policy_is_lru:
+                policy = l1._policy
+                policy._clock += 1
+                policy._last_use[set_index][way] = policy._clock
+            else:
+                l1._policy.on_hit(set_index, way)
+            stats = l1.stats
+            stats.hits += 1
+            if line.prefetched:
+                stats.prefetch_hits += 1
+                line.prefetched = False
+            if write:
+                line.dirty = True
+                if data is not None:
+                    line.data = data
+            return l1.hit_latency
+        l1.stats.misses += 1
+        below, _level = self._access_below_l1(tag, write, data)
+        return l1.miss_latency + below
+
+    def _access_below_l1(self, tag: int, write: bool,
+                         data: Optional[bytes]) -> Tuple[int, str]:
+        """The shared post-L1-miss demand path: L2, L3, then memory.
+
+        The common all-levels-miss case is inlined: the L2/L3 miss probes
+        and the port dispatch avoid method-call layers while performing
+        exactly the operations (stats, LRU touches, hook emissions) the
+        un-inlined calls would.
+        """
+        l2 = self.l2
+        if l2._where.get(tag) is not None:
+            _hit, latency = l2.access(tag, write=False)
+            line = l2.lookup(tag)
             # Dirty ownership moves *up* with the data: leaving the L2
             # copy dirty would create a stale dirty duplicate that a
             # later flush or eviction writes back over fresher data.
             promoted_dirty = write or line.dirty
             line.dirty = False
-            self._spill(self.l1, self.l1.fill(
-                tag, data=line.data, dirty=promoted_dirty))
+            evicted = self.l1.fill(tag, data=line.data, dirty=promoted_dirty)
+            if evicted is not None and evicted.dirty:
+                self._spill(self.l1, evicted)
             if data is not None and write:
                 self.l1.access(tag, write=True, data=data)
-            return AccessResult(latency=latency, level="L2")
+            return latency, "L2"
+        l2.stats.misses += 1
+        latency = l2.miss_latency
 
         # L2 miss: train the prefetcher (it prefetches into the L3).
         for pf_tag in self.prefetcher.on_miss(tag):
             self._prefetch(pf_tag)
 
-        hit, cycles = self.l3.access(tag, write=False)
-        latency += cycles
-        if hit:
-            line = self.l3.lookup(tag)
+        l3 = self.l3
+        if l3._where.get(tag) is not None:
+            _hit, cycles = l3.access(tag, write=False)
+            latency += cycles
+            line = l3.lookup(tag)
             promoted_dirty = write or line.dirty
             line.dirty = False
-            self._spill(self.l2, self.l2.fill(tag, data=line.data, dirty=False))
-            self._spill(self.l1, self.l1.fill(
-                tag, data=line.data, dirty=promoted_dirty))
+            evicted = l2.fill(tag, data=line.data, dirty=False)
+            if evicted is not None and evicted.dirty:
+                self._spill(l2, evicted)
+            evicted = self.l1.fill(tag, data=line.data, dirty=promoted_dirty)
+            if evicted is not None and evicted.dirty:
+                self._spill(self.l1, evicted)
             if data is not None and write:
                 self.l1.access(tag, write=True, data=data)
-            return AccessResult(latency=latency, level="L3")
+            return latency, "L3"
+        l3.stats.misses += 1
+        latency += l3.miss_latency
 
-        # Full-hierarchy miss: resolve (possibly via the OMT) and go to DRAM.
-        address, extra = self.miss_port.resolve(tag)
+        # Full-hierarchy miss: resolve (possibly via the OMT) and go to
+        # DRAM.  The port round-trips are inlined (request/latency
+        # counters, handler call, hook emission — MissPort.resolve and
+        # FetchPort.fetch verbatim, minus the response wrapper).
+        miss_port = self.miss_port
+        miss_port._requests.value += 1
+        response = miss_port._handler(tag)
+        if isinstance(response, MissResolution):
+            address, extra = response.address, response.latency
+        else:
+            address, extra = response
+        miss_port._latency.value += extra
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "port", miss_port.name,
+                              {"op": "resolve", "tag": tag,
+                               "latency": extra})
         latency += extra
         if address is not None:
             latency += self.dram.read(address, self._now + latency)
-        fill_data = self.fetch_port.fetch(tag)
+        fetch_port = self.fetch_port
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "port", fetch_port.name,
+                              {"op": "fetch", "tag": tag})
+        fetch_port._requests.value += 1
+        fill_data = fetch_port._handler(tag)
         self._fill_upward(tag, data=fill_data, dirty=write)
         if data is not None and write:
             self.l1.access(tag, write=True, data=data)
-        return AccessResult(latency=latency, level="MEM")
+        return latency, "MEM"
 
     def _prefetch(self, tag: int) -> None:
         """Fetch *tag* into the L3 off the demand path."""
         if tag < 0:
             return
-        if self.l3.lookup(tag) is not None:
+        l3 = self.l3
+        if l3._where.get(tag) is not None:
             return
-        address, _extra = self.miss_port.resolve(tag)
+        # Inlined MissPort.resolve / FetchPort.fetch (as in
+        # _access_below_l1): same counters, handlers, hook emissions.
+        miss_port = self.miss_port
+        miss_port._requests.value += 1
+        response = miss_port._handler(tag)
+        if isinstance(response, MissResolution):
+            address, extra = response.address, response.latency
+        else:
+            address, extra = response
+        miss_port._latency.value += extra
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "port", miss_port.name,
+                              {"op": "resolve", "tag": tag,
+                               "latency": extra})
         if address is not None:
             self.dram.read(address, self._now)
-        self._spill(self.l3, self.l3.fill(tag, data=self.fetch_port.fetch(tag),
-                                          prefetch=True))
+        fetch_port = self.fetch_port
+        if HOOKS.active is not None:
+            HOOKS.active.emit(None, "port", fetch_port.name,
+                              {"op": "fetch", "tag": tag})
+        fetch_port._requests.value += 1
+        evicted = l3.fill(tag, data=fetch_port._handler(tag), prefetch=True)
+        if evicted is not None and evicted.dirty:
+            self._spill(l3, evicted)
 
     # -- maintenance operations ----------------------------------------------------
 

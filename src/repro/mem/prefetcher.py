@@ -1,3 +1,4 @@
+# simlint: hot-path
 """Stream prefetcher — Table 2.
 
 The paper's configuration: a multi-stream prefetcher in the style of the
@@ -16,15 +17,19 @@ from dataclasses import dataclass
 from typing import List
 
 
-@dataclass
 class _Stream:
     """One tracked stream: last demand line, direction, next prefetch."""
 
-    last_line: int
-    direction: int = 0           # +1, -1, or 0 while still training
-    next_prefetch: int = 0
-    confidence: int = 0
-    lru: int = 0
+    __slots__ = ("last_line", "direction", "next_prefetch", "confidence",
+                 "lru")
+
+    def __init__(self, last_line: int, direction: int = 0,
+                 next_prefetch: int = 0, confidence: int = 0, lru: int = 0):
+        self.last_line = last_line
+        self.direction = direction   # +1, -1, or 0 while still training
+        self.next_prefetch = next_prefetch
+        self.confidence = confidence
+        self.lru = lru
 
 
 @dataclass
@@ -37,6 +42,9 @@ class PrefetcherStats:
 class StreamPrefetcher:
     """A 16-entry stream prefetcher issuing into the level below L2."""
 
+    __slots__ = ("entries", "degree", "distance", "train_window", "_streams",
+                 "_clock", "stats")
+
     def __init__(self, entries: int = 16, degree: int = 4, distance: int = 24,
                  train_window: int = 4):
         self.entries = entries
@@ -48,10 +56,14 @@ class StreamPrefetcher:
         self.stats = PrefetcherStats()
 
     def _find_stream(self, line: int) -> _Stream:
+        window = self.train_window
+        distance = self.distance
         for stream in self._streams:
-            if abs(line - stream.last_line) <= self.train_window or (
-                    stream.direction and
-                    0 <= (line - stream.last_line) * stream.direction <= self.distance):
+            delta = line - stream.last_line
+            if -window <= delta <= window:
+                return stream
+            direction = stream.direction
+            if direction and 0 <= delta * direction <= distance:
                 return stream
         return None
 
@@ -61,7 +73,12 @@ class StreamPrefetcher:
         stream = self._find_stream(line)
         if stream is None:
             if len(self._streams) >= self.entries:
-                victim = min(self._streams, key=lambda s: s.lru)
+                victim = self._streams[0]
+                best = victim.lru
+                for candidate in self._streams:
+                    if candidate.lru < best:
+                        best = candidate.lru
+                        victim = candidate
                 self._streams.remove(victim)
             stream = _Stream(last_line=line, lru=self._clock)
             self._streams.append(stream)

@@ -1,3 +1,4 @@
+# simlint: hot-path
 """Cache replacement policies: LRU and DRRIP.
 
 Table 2 of the paper uses LRU for the L1 and L2 caches and DRRIP [27]
@@ -19,6 +20,8 @@ from typing import Dict, List
 class ReplacementPolicy:
     """Interface: one instance manages every set of one cache."""
 
+    __slots__ = ("num_sets", "ways")
+
     def __init__(self, num_sets: int, ways: int):
         self.num_sets = num_sets
         self.ways = ways
@@ -29,13 +32,28 @@ class ReplacementPolicy:
     def on_fill(self, set_index: int, way: int, prefetch: bool = False) -> None:
         raise NotImplementedError
 
-    def victim(self, set_index: int, occupied: List[bool]) -> int:
-        """Pick the way to evict (all ways occupied) or fill (some free)."""
+    def victim(self, set_index: int, occupied: List) -> int:
+        """Pick the way to evict (all ways occupied) or fill (some free).
+
+        *occupied* is any per-way sequence whose entries are truthy for
+        occupied ways — the cache passes its line bucket directly
+        (``CacheLine`` entries are truthy, empty ways are ``None``).
+        """
+        raise NotImplementedError
+
+    def victim_full(self, set_index: int) -> int:
+        """Pick the way to evict in a set known to have no free ways.
+
+        The cache tracks per-set occupancy and calls this in the steady
+        state, skipping :meth:`victim`'s free-way scan.
+        """
         raise NotImplementedError
 
 
 class LRUPolicy(ReplacementPolicy):
     """Classic least-recently-used, tracked with per-set timestamps."""
+
+    __slots__ = ("_clock", "_last_use")
 
     def __init__(self, num_sets: int, ways: int):
         super().__init__(num_sets, ways)
@@ -52,12 +70,22 @@ class LRUPolicy(ReplacementPolicy):
     def on_fill(self, set_index: int, way: int, prefetch: bool = False) -> None:
         self._touch(set_index, way)
 
-    def victim(self, set_index: int, occupied: List[bool]) -> int:
+    def victim(self, set_index: int, occupied: List) -> int:
         for way, used in enumerate(occupied):
             if not used:
                 return way
+        return self.victim_full(set_index)
+
+    def victim_full(self, set_index: int) -> int:
         stamps = self._last_use[set_index]
-        return min(range(self.ways), key=stamps.__getitem__)
+        best_way = 0
+        best = stamps[0]
+        for way in range(1, self.ways):
+            stamp = stamps[way]
+            if stamp < best:
+                best = stamp
+                best_way = way
+        return best_way
 
 
 class DRRIPPolicy(ReplacementPolicy):
@@ -70,12 +98,16 @@ class DRRIPPolicy(ReplacementPolicy):
     PSEL_BITS = 10
     DUELING_SETS = 32     # leader sets per policy
 
+    __slots__ = ("_rrpv", "_psel", "_psel_max", "_psel_mid",
+                 "_brrip_throttle", "_leader")
+
     def __init__(self, num_sets: int, ways: int):
         super().__init__(num_sets, ways)
         self._rrpv: List[List[int]] = [
             [self.MAX_RRPV] * ways for _ in range(num_sets)]
         self._psel = (1 << self.PSEL_BITS) // 2
         self._psel_max = (1 << self.PSEL_BITS) - 1
+        self._psel_mid = (self._psel_max + 1) // 2
         self._brrip_throttle = 0
         self._leader: Dict[int, str] = {}
         stride = max(1, num_sets // (2 * self.DUELING_SETS))
@@ -104,9 +136,20 @@ class DRRIPPolicy(ReplacementPolicy):
         self._rrpv[set_index][way] = 0
 
     def on_fill(self, set_index: int, way: int, prefetch: bool = False) -> None:
-        self._account_miss(set_index)
-        policy = self._policy_for(set_index)
-        if policy == "srrip":
+        # _account_miss + _policy_for flattened into one leader lookup.
+        leader = self._leader.get(set_index)
+        psel = self._psel
+        if leader is None:
+            srrip = psel < self._psel_mid
+        elif leader == "srrip":
+            if psel < self._psel_max:
+                self._psel = psel + 1
+            srrip = True
+        else:
+            if psel > 0:
+                self._psel = psel - 1
+            srrip = False
+        if srrip:
             rrpv = self.LONG_RRPV
         else:
             self._brrip_throttle = (self._brrip_throttle + 1) % self.BRRIP_LONG_EVERY
@@ -115,16 +158,21 @@ class DRRIPPolicy(ReplacementPolicy):
             rrpv = self.DISTANT_RRPV  # prefetches inserted with distant prediction
         self._rrpv[set_index][way] = rrpv
 
-    def victim(self, set_index: int, occupied: List[bool]) -> int:
+    def victim(self, set_index: int, occupied: List) -> int:
         for way, used in enumerate(occupied):
             if not used:
                 return way
+        return self.victim_full(set_index)
+
+    def victim_full(self, set_index: int) -> int:
         rrpvs = self._rrpv[set_index]
+        ways = self.ways
+        max_rrpv = self.MAX_RRPV
         while True:
-            for way in range(self.ways):
-                if rrpvs[way] >= self.MAX_RRPV:
+            for way in range(ways):
+                if rrpvs[way] >= max_rrpv:
                     return way
-            for way in range(self.ways):
+            for way in range(ways):
                 rrpvs[way] += 1
 
 

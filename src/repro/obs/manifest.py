@@ -36,9 +36,16 @@ MANIFEST_FORMAT = 1
 
 
 def _config_dict(config: SystemConfig) -> Dict[str, Any]:
-    """The full Table 2 as a flat JSON-ready mapping."""
+    """The full Table 2 as a flat JSON-ready mapping.
+
+    Harness knobs (``SystemConfig._HARNESS_FIELDS``, e.g. the engine
+    mode) do not affect simulated behaviour and are excluded so a
+    scalar and a batched run of the same workload emit byte-identical
+    manifests.
+    """
+    harness = getattr(type(config), "_HARNESS_FIELDS", ())
     return {spec.name: getattr(config, spec.name)
-            for spec in fields(config)}
+            for spec in fields(config) if spec.name not in harness}
 
 
 @dataclass

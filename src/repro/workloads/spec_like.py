@@ -81,6 +81,23 @@ TYPE_ORDER = ["bwaves", "hmmer", "libq", "sphinx3", "tonto",
               "bzip2", "cactus", "lbm", "leslie3d", "soplex",
               "astar", "Gems", "mcf", "milc", "omnet"]
 
+#: Memo of generated traces.  Trace construction is deterministic (frozen
+#: profile + explicit seed), so identical requests rebuild byte-identical
+#: traces; the memo skips the rebuild.  Only seeded requests are cached —
+#: an injected rng carries hidden state and bypasses the memo.  Callers
+#: get a fresh Trace wrapper over a copied access list, so appending to a
+#: returned trace cannot corrupt the memo (MemoryAccess records are
+#: immutable and safely shared).
+_TRACE_MEMO: Dict[tuple, List[MemoryAccess]] = {}
+
+
+def _memoized(key: tuple, build) -> Trace:
+    accesses = _TRACE_MEMO.get(key)
+    if accesses is None:
+        accesses = build().accesses
+        _TRACE_MEMO[key] = accesses
+    return Trace(list(accesses))
+
 
 def warmup_trace(profile: BenchmarkProfile, base_vpn: int,
                  accesses: int = 4000, seed: Optional[int] = None,
@@ -93,6 +110,12 @@ def warmup_trace(profile: BenchmarkProfile, base_vpn: int,
     """
     base = base_vpn * PAGE_SIZE
     span = profile.footprint_pages * PAGE_SIZE
+    if rng is None:
+        return _memoized(
+            ("warmup", profile, base_vpn, accesses, seed),
+            lambda: Trace.random_in_region(
+                base, span, accesses, write_fraction=0.2,
+                gap=profile.gap, rng=derive_rng(None, seed, stream=1)))
     rng = derive_rng(rng, seed, stream=1)
     return Trace.random_in_region(base, span, accesses,
                                   write_fraction=0.2, gap=profile.gap,
@@ -109,6 +132,11 @@ def measurement_trace(profile: BenchmarkProfile, base_vpn: int,
     ``random.Random`` seeded from *seed* (default:
     ``SystemConfig.rng_seed + 2``, the phase's historical stream).
     """
+    if rng is None:
+        return _memoized(
+            ("measurement", profile, base_vpn, scale, seed),
+            lambda: measurement_trace(profile, base_vpn, scale=scale,
+                                      rng=derive_rng(None, seed, stream=2)))
     rng = derive_rng(rng, seed, stream=2)
     base = base_vpn * PAGE_SIZE
     write_pages = max(1, round(profile.write_pages * scale))

@@ -1,0 +1,6 @@
+"""SL006 fixture (clean): no hot-path marker, so unslotted classes pass."""
+
+
+class RelaxedEntry:
+    def __init__(self, tag):
+        self.tag = tag

@@ -1,0 +1,32 @@
+# simlint: hot-path
+"""SL006 fixture: hot-path module with an unslotted per-access class."""
+
+from dataclasses import dataclass
+
+from repro.engine.component import Component
+
+
+@dataclass
+class StatsBlock:                         # exempt: dataclass (vars() snapshot)
+    hits: int = 0
+
+
+class BareEntry:                          # SL006: no __slots__
+    def __init__(self, tag):
+        self.tag = tag
+
+
+class SlottedEntry:
+    __slots__ = ("tag",)
+
+    def __init__(self, tag):
+        self.tag = tag
+
+
+class HotCache(Component):                # exempt: Component subclass
+    def __init__(self):
+        super().__init__("hot")
+
+
+class HotPathError(RuntimeError):         # exempt: exception class
+    pass

@@ -123,6 +123,26 @@ class TestSL005ComponentProtocol:
         assert findings_for("sl005_clean.py", select=["SL005"]) == []
 
 
+class TestSL006HotPathSlots:
+    def test_unslotted_class_flagged(self):
+        findings = findings_for("sl006_violation.py", select=["SL006"])
+        assert len(findings) == 1
+        assert "BareEntry" in findings[0].symbol
+        assert "__slots__" in findings[0].message
+
+    def test_exemptions(self):
+        # Slotted classes, Component subclasses, dataclasses and
+        # exception classes in the same marked module all pass.
+        findings = findings_for("sl006_violation.py", select=["SL006"])
+        symbols = " ".join(f.symbol for f in findings)
+        for exempt in ("SlottedEntry", "HotCache", "StatsBlock",
+                       "HotPathError"):
+            assert exempt not in symbols
+
+    def test_unmarked_module_passes(self):
+        assert findings_for("sl006_clean.py", select=["SL006"]) == []
+
+
 class TestPragmas:
     def test_parse_pragmas(self):
         disabled = parse_pragmas([
