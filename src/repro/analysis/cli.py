@@ -8,14 +8,17 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from .explain import EXPLANATIONS
 from .findings import Baseline, Finding, suppressed
 from .imports import check_layering
 from .modules import collect_modules
 from .rules import ALL_CODES, RULES, Project
+from .sarif import sarif_document
 
 DEFAULT_PATHS = ("src", "benchmarks", "examples")
 DEFAULT_BASELINE = "simlint.baseline.json"
@@ -59,7 +62,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="simlint",
         description="Architectural lint for the page-overlays simulator "
                     "(determinism, layering, config-owned latencies, "
-                    "stats discipline, component protocol).")
+                    "stats discipline, component protocol, process-state "
+                    "safety, hook-contract coverage, schema drift).")
     parser.add_argument("paths", nargs="*", default=None,
                         help="files or directories to lint "
                              f"(default: {' '.join(DEFAULT_PATHS)})")
@@ -75,16 +79,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--write-baseline", action="store_true",
                         help="rewrite the baseline from current findings "
                              "and exit 0")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default=None,
+                        help="output format (default: text)")
     parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="machine-readable JSON output")
+                        help="machine-readable JSON output "
+                             "(alias for --format json)")
     parser.add_argument("--list-rules", action="store_true",
                         help="list the rules and exit")
+    parser.add_argument("--explain", metavar="CODE",
+                        help="print a rule's rationale and a worked fix, "
+                             "then exit")
     args = parser.parse_args(argv)
 
     if args.list_rules:
         for code in ALL_CODES:
             print(f"{code}  {RULES[code].summary}")
         return 0
+
+    if args.explain:
+        code = args.explain.strip().upper()
+        if code not in RULES:
+            print(f"simlint: unknown rule: {code}; "
+                  f"known: {', '.join(ALL_CODES)}", file=sys.stderr)
+            return 2
+        explanation = EXPLANATIONS.get(code)
+        if explanation is None:
+            print(f"simlint: no explanation recorded for {code}",
+                  file=sys.stderr)
+            return 2
+        print(explanation.format(RULES[code].summary))
+        return 0
+
+    output = args.format or ("json" if args.as_json else "text")
 
     select = None
     if args.select:
@@ -116,7 +143,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     new, old = _split_baseline(findings, baseline)
 
-    if args.as_json:
+    if output == "sarif":
+        print(json.dumps(sarif_document(findings, baseline), indent=2))
+    elif output == "json":
         payload = {
             "version": 1,
             "counts": {"total": len(findings), "new": len(new),
@@ -136,3 +165,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             print("simlint: clean")
     return 1 if new else 0
+
+
+def run() -> int:
+    """Console entry point: ``main`` plus a quiet exit when the reader
+    closes the pipe early (``simlint --explain SL008 | head``)."""
+    try:
+        return main()
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

@@ -4,11 +4,15 @@ Each rule is a generator ``rule(module, project) -> Iterator[Finding]``
 registered under its ``SLxxx`` code.  ``project`` is the
 :class:`Project` built from every collected module, which is what lets
 class-level rules (SL003/SL005) see ``Component`` subclasses whose base
-class lives in another file.
+class lives in another file, and gives the whole-program rules
+(SL007-SL009) their lazily built :class:`~repro.analysis.symbols.
+SymbolTable` and :class:`~repro.analysis.callgraph.CallGraph`.
 
 SL004 (layering) is graph-global rather than per-module and lives in
-:mod:`repro.analysis.imports`; it is registered here so ``--select``
-and ``--list-rules`` treat all five rules uniformly.
+:mod:`repro.analysis.imports`; SL007-SL009 live in their own modules
+(:mod:`~repro.analysis.rules_state`, :mod:`~repro.analysis.rules_hooks`,
+:mod:`~repro.analysis.rules_schema`).  All are registered here so
+``--select`` and ``--list-rules`` treat every rule uniformly.
 """
 
 from __future__ import annotations
@@ -18,9 +22,14 @@ import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
+from .callgraph import CallGraph
 from .findings import Finding
 from .imports import check_layering
 from .modules import SourceModule
+from .rules_hooks import check_hook_contract
+from .rules_schema import check_schema_drift
+from .rules_state import check_process_state
+from .symbols import SymbolTable
 
 
 @dataclass
@@ -29,6 +38,22 @@ class Project:
 
     modules: List[SourceModule]
     _component_classes: Optional[Set[str]] = field(default=None, repr=False)
+    _symbols: Optional[SymbolTable] = field(default=None, repr=False)
+    _callgraph: Optional[CallGraph] = field(default=None, repr=False)
+
+    @property
+    def symbols(self) -> SymbolTable:
+        """The project symbol table, built on first use."""
+        if self._symbols is None:
+            self._symbols = SymbolTable(self.modules)
+        return self._symbols
+
+    @property
+    def callgraph(self) -> CallGraph:
+        """The project call/mutation/hook-site graph, built on first use."""
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self.symbols)
+        return self._callgraph
 
     @property
     def component_classes(self) -> Set[str]:
@@ -491,5 +516,23 @@ RULES["SL004"] = RuleSpec(
     None)
 
 check_layering_project = check_layering
+
+# The whole-program rules live in their own modules; register their
+# checks here so the registry stays the single list of every rule.
+RULES["SL007"] = RuleSpec(
+    "SL007",
+    "process state: function-scope-mutated module globals in sim layers "
+    "must be registered with repro.engine.process_state",
+    check_process_state)
+RULES["SL008"] = RuleSpec(
+    "SL008",
+    "hook contract: every HOOKS call sits under an armed-check, and every "
+    "architectural-state module has a reachable hook site",
+    check_hook_contract)
+RULES["SL009"] = RuleSpec(
+    "SL009",
+    "schema drift: results payload keys, mirrored literals and profiler "
+    "stat names stay in sync with repro.obs schemas",
+    check_schema_drift)
 
 ALL_CODES = tuple(sorted(RULES))

@@ -1,0 +1,83 @@
+"""SL008 — hook-contract coverage: zero overhead off, observable on.
+
+:mod:`repro.engine.tracing` promises two things at once:
+
+1. **Zero overhead when off** — a hook slot that is not armed must cost
+   nothing beyond one ``is not None`` test.  Any call through
+   ``HOOKS.active`` / ``HOOKS.sampler`` / ``HOOKS.faults`` (or a local
+   alias like ``sink = HOOKS.active``) that is *not* dominated by an
+   armed-check allocates event payloads and takes attribute hops on the
+   hot path even with tracing disabled.
+2. **Observable when on** — the architectural-state modules (OMT walks,
+   overlay bit-vector copies, TLB fills/shootdowns, coherence
+   broadcasts, OMS mappings, DRAM traffic) are the whole point of the
+   tracer; a module that mutates architectural state with *no* hook
+   site reachable from its public methods is invisible to
+   ``repro.obs``, and regressions there can't be caught by
+   trace-differential tests.
+
+This rule checks both halves interprocedurally using the call graph:
+every hook site must be guarded (per site), and every module in
+:data:`ARCH_STATE_MODULES` must have at least one guarded hook site
+reachable from one of its top-level class methods.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .findings import Finding
+from .modules import SourceModule
+
+#: Modules that own mutable architectural state and therefore must
+#: publish at least one trace event on a mutation path.  Keyed by dotted
+#: module name; the value names the state for the finding message.
+ARCH_STATE_MODULES = {
+    "repro.core.omt": "OMT entries / walk results",
+    "repro.core.obitvector": "overlay bit vectors",
+    "repro.core.tlb": "TLB entries (fills, evictions, shootdowns)",
+    "repro.core.coherence": "coherence directory state",
+    "repro.core.oms": "overlay-on-demand mappings",
+    "repro.mem.dram": "DRAM open-row / access state",
+    "repro.mem.hierarchy": "cache-hierarchy line state",
+}
+
+
+def check_hook_contract(module: SourceModule, project) -> Iterator[Finding]:
+    """SL008: unguarded hook sites + uninstrumented arch-state modules."""
+    graph = project.callgraph
+    table = project.symbols
+
+    for site in graph.hook_sites:
+        if site.path != module.display_path or site.guarded:
+            continue
+        yield Finding(
+            code="SL008", path=module.display_path,
+            line=site.lineno, col=site.col,
+            message=(f"call through HOOKS.{site.slot} is not dominated by "
+                     f"an armed-check; wrap it in "
+                     f"`if HOOKS.{site.slot} is not None:` (or alias the "
+                     f"slot first: `sink = HOOKS.{site.slot}`) so disabled "
+                     f"tracing stays zero-overhead"),
+            symbol=f"{site.slot}.{site.method}:unguarded-hook")
+
+    what = ARCH_STATE_MODULES.get(module.module)
+    if what is None:
+        return
+    symbols = table.by_path.get(module.display_path)
+    if symbols is None:
+        return
+    seeds = {f"{module.module}:{klass.name}.{method}"
+             for klass in symbols.classes.values()
+             for method in klass.methods}
+    covered = graph.reachable(seeds)
+    for site in graph.hook_sites:
+        if site.guarded and site.func in covered:
+            return
+    yield Finding(
+        code="SL008", path=module.display_path, line=1, col=0,
+        message=(f"architectural-state module {module.module} ({what}) has "
+                 f"no guarded HOOKS site reachable from any of its class "
+                 f"methods; emit a trace event on the mutation path so "
+                 f"repro.obs can observe this state"),
+        symbol=f"{module.module}:uninstrumented")

@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 output for simlint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest; emitting it lets CI upload simlint results as a scanning
+artifact instead of parsing text.  One run object, one rule entry per
+registered rule (with the ``--explain`` text as full description), one
+result per finding.  Baselined findings are included but marked
+``suppressed`` (kind ``external``), mirroring the text output's
+"baselined finding(s) suppressed" line; ``partialFingerprints`` carries
+the same ``(path, code, symbol)`` fingerprint the baseline uses, so
+SARIF consumers dedup across runs exactly like the baseline does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence
+
+from .explain import EXPLANATIONS
+from .findings import Baseline, Finding
+from .rules import ALL_CODES, RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "simlint"
+TOOL_URI = "https://example.invalid/simlint"  # no public homepage
+
+
+def _rule_descriptor(code: str) -> Dict[str, Any]:
+    spec = RULES[code]
+    descriptor: Dict[str, Any] = {
+        "id": code,
+        "name": code,
+        "shortDescription": {"text": spec.summary},
+        "defaultConfiguration": {"level": "error"},
+    }
+    explanation = EXPLANATIONS.get(code)
+    if explanation is not None:
+        descriptor["fullDescription"] = {
+            "text": " ".join(explanation.rationale.split())}
+        descriptor["help"] = {
+            "text": explanation.format(spec.summary)}
+    return descriptor
+
+
+def _result(finding: Finding, baselined: bool) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path,
+                                     "uriBaseId": "SRCROOT"},
+                "region": {"startLine": finding.line,
+                           # SARIF columns are 1-based; ast's are 0-based.
+                           "startColumn": finding.col + 1},
+            },
+        }],
+        "partialFingerprints": {
+            "simlint/v1": "/".join(finding.fingerprint),
+        },
+    }
+    if baselined:
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": "grandfathered in simlint.baseline.json",
+        }]
+    return result
+
+
+def sarif_document(findings: Sequence[Finding],
+                   baseline: Baseline) -> Dict[str, Any]:
+    """The complete SARIF 2.1.0 log object for one lint run."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_URI,
+                    "rules": [_rule_descriptor(code) for code in ALL_CODES],
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": [_result(f, baseline.contains(f)) for f in findings],
+        }],
+    }

@@ -23,10 +23,15 @@ this repository needs and previously reimplemented by hand:
   ``random.Random`` rooted at ``SystemConfig.rng_seed`` (simlint SL001);
 * :mod:`~repro.engine.tracing` — the opt-in trace-hook slot every
   engine structure publishes events through (free when no sink is
-  installed; the recorder lives in :mod:`repro.obs`).
+  installed; the recorder lives in :mod:`repro.obs`);
+* :mod:`~repro.engine.process_state` — the registry of every
+  process-wide mutable (hook slots, engine-mode/watchdog defaults,
+  workload caches) with ``snapshot_all``/``reset_all``/``fork_guard``,
+  so worker processes start deterministic by construction (simlint
+  SL007 enforces registration).
 """
 
-from . import tracing
+from . import process_state, tracing
 from .batch import (AccessBatch, BatchEngine, DEFAULT_BATCH_SIZE,
                     default_engine_mode, iter_batches, resolve_engine_mode,
                     set_default_engine_mode)
@@ -53,5 +58,6 @@ __all__ = [
     "merge_blocks", "snapshot_block",
     "SystemBuilder",
     "derive_rng", "resolve_seed",
+    "process_state",
     "tracing", "CycleSampler", "FaultHook", "TraceError", "TraceSink",
 ]

@@ -28,6 +28,8 @@ from __future__ import annotations
 from itertools import islice
 from typing import Iterable, Iterator, List
 
+from .process_state import register as register_process_state
+
 #: Accesses per drain call.  Large enough to amortise the per-batch
 #: bookkeeping (cursor sync, watchdog observe), small enough that the
 #: hang watchdog still fires within one batch of the offending access.
@@ -38,6 +40,20 @@ ENGINE_MODES = ("scalar", "batched")
 
 #: Process-wide default engine mode, set by the CLI's ``--engine`` flag.
 _DEFAULT_ENGINE_MODE = "scalar"
+
+
+def _reset_default_engine_mode() -> None:
+    global _DEFAULT_ENGINE_MODE
+    _DEFAULT_ENGINE_MODE = "scalar"
+
+
+# The default engine mode is process-wide mutable state: a worker that
+# forks after ``--engine batched`` ran would resolve "auto" differently
+# from a fresh process.  Registered so reset_all/fork_guard restore it.
+register_process_state(
+    "repro.engine.batch._DEFAULT_ENGINE_MODE",
+    snapshot=lambda: _DEFAULT_ENGINE_MODE,
+    reset=_reset_default_engine_mode)
 
 
 def set_default_engine_mode(mode: str) -> None:

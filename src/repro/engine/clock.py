@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import List
 
+from .process_state import register as register_process_state
 from .tracing import HOOKS
 
 
@@ -51,6 +52,20 @@ class SimulationHangError(RuntimeError):
 #: Process-wide default watchdog limit new clocks adopt (None: no limit).
 #: The CLI's ``--max-cycles`` flag sets it for the experiments it runs.
 _DEFAULT_MAX_CYCLES = None
+
+
+def _reset_default_max_cycles() -> None:
+    global _DEFAULT_MAX_CYCLES
+    _DEFAULT_MAX_CYCLES = None
+
+
+# The default watchdog limit is process-wide mutable state: a worker
+# inheriting a parent's ``--max-cycles`` would abort runs a fresh
+# process completes.  Registered so reset_all/fork_guard restore it.
+register_process_state(
+    "repro.engine.clock._DEFAULT_MAX_CYCLES",
+    snapshot=lambda: _DEFAULT_MAX_CYCLES,
+    reset=_reset_default_max_cycles)
 
 
 def set_default_max_cycles(limit) -> None:

@@ -39,6 +39,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from .process_state import register as register_process_state
+
 
 class TraceError(RuntimeError):
     """Raised on conflicting sink installation."""
@@ -152,6 +154,24 @@ class TraceHooks:
 #: The one slot every hook site reads.  Hook sites import this object
 #: (not its attribute) so installing a sink is visible everywhere.
 HOOKS = TraceHooks()
+
+
+def _reset_hooks() -> None:
+    HOOKS.active = None
+    HOOKS.sampler = None
+    HOOKS.faults = None
+
+
+# The hook slots are process-wide mutable state: a forked worker that
+# inherits an armed tracer/sampler/fault hook silently diverges from a
+# fresh process.  Registering them makes ``process_state.reset_all()``
+# (and the multiprocessing ``fork_guard``) disarm everything.
+register_process_state(
+    "repro.engine.tracing.HOOKS",
+    snapshot=lambda: (HOOKS.active is not None,
+                      HOOKS.sampler is not None,
+                      HOOKS.faults is not None),
+    reset=_reset_hooks)
 
 
 def install(sink: TraceSink) -> TraceSink:

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 
 from ..core.address import LINE_SIZE, LINES_PER_PAGE, PAGE_SIZE
 from ..cpu.trace import MemoryAccess, Trace
+from ..engine import process_state
 from ..engine.rng import derive_rng
 
 
@@ -90,13 +91,38 @@ TYPE_ORDER = ["bwaves", "hmmer", "libq", "sphinx3", "tonto",
 #: immutable and safely shared).
 _TRACE_MEMO: Dict[tuple, List[MemoryAccess]] = {}
 
+#: Memo bound: one full sweep touches 15 benchmarks x 2 phases = 30
+#: distinct keys, so 64 keeps every sweep hot while capping what a
+#: long-lived campaign process (many scales/seeds) can accumulate.
+#: Eviction is least-recently-used and purely deterministic — hits
+#: refresh recency, inserts past the bound evict the stalest key.
+TRACE_MEMO_CAPACITY = 64
+
 
 def _memoized(key: tuple, build) -> Trace:
     accesses = _TRACE_MEMO.get(key)
     if accesses is None:
         accesses = build().accesses
+        if len(_TRACE_MEMO) >= TRACE_MEMO_CAPACITY:
+            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        _TRACE_MEMO[key] = accesses
+    else:
+        # Refresh recency: dicts iterate in insertion order, so moving
+        # a hit to the end makes the first key the LRU victim.
+        _TRACE_MEMO.pop(key)
         _TRACE_MEMO[key] = accesses
     return Trace(list(accesses))
+
+
+# The memo is a process-wide cache: a cleared (or differently warmed)
+# memo must never change results — only rebuild cost.  Registering it
+# lets reset_all/fork_guard drop it, and tests prove a reset-then-rerun
+# is byte-identical to a fresh-process run.
+process_state.register(
+    "repro.workloads.spec_like._TRACE_MEMO",
+    snapshot=lambda: tuple(
+        (key[0], key[1].name) + key[2:] for key in _TRACE_MEMO),
+    reset=_TRACE_MEMO.clear)
 
 
 def warmup_trace(profile: BenchmarkProfile, base_vpn: int,

@@ -1,0 +1,23 @@
+"""SL007 violation fixture: unregistered process-wide mutables.
+
+``_MODE`` is rebound from function scope here; ``SETTINGS`` is mutated
+from another module (``other.py``) — both must be flagged, anchored at
+their definitions in this file.  ``TABLE`` is only mutated at module
+scope (constant built in steps) and must NOT be flagged.
+"""
+
+_MODE = "scalar"
+
+SETTINGS = {}
+
+TABLE = {}
+TABLE["alpha"] = 1          # module-scope init: not process state
+
+
+def set_mode(mode):
+    global _MODE
+    _MODE = mode
+
+
+def current_mode():
+    return _MODE

@@ -1,0 +1,7 @@
+"""Cross-module mutation: convicts ``knobs.SETTINGS`` project-wide."""
+
+from .knobs import SETTINGS
+
+
+def remember(key, value):
+    SETTINGS[key] = value

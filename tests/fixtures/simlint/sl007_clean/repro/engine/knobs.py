@@ -1,0 +1,27 @@
+"""SL007 clean fixture: every function-scope-mutated global registered."""
+
+from .process_state import register
+
+_MODE = "scalar"
+
+SETTINGS = {}
+
+
+def set_mode(mode):
+    global _MODE
+    _MODE = mode
+
+
+def remember(key, value):
+    SETTINGS[key] = value
+
+
+def _reset_mode():
+    global _MODE
+    _MODE = "scalar"
+
+
+register("repro.engine.knobs._MODE",
+         snapshot=lambda: _MODE, reset=_reset_mode)
+register("repro.engine.knobs.SETTINGS",
+         snapshot=lambda: tuple(sorted(SETTINGS)), reset=SETTINGS.clear)

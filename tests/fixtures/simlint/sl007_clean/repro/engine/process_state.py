@@ -1,0 +1,7 @@
+"""Stub of the process-state registry (fixture; parsed, never run)."""
+
+_SLOTS = {}
+
+
+def register(name, *, snapshot, reset, replace=False):
+    _SLOTS[name] = (snapshot, reset)

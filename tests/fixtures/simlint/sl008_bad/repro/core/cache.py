@@ -1,0 +1,10 @@
+"""SL008 violation: an unguarded hook call on the hot path."""
+
+from ..engine.tracing import HOOKS
+
+
+class Cache:
+    def fill(self, line):
+        # No armed-check: payload built even with tracing off.
+        HOOKS.active.emit("fill", line=line)
+        return line

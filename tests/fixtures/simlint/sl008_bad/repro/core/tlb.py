@@ -1,0 +1,14 @@
+"""SL008 violation: architectural-state module with no hook site."""
+
+
+class TLB:
+    def __init__(self):
+        self.entries = {}
+
+    def fill(self, vpn, ppn):
+        # Mutates architectural state with no trace event anywhere on
+        # the path: the tracer is blind to this module.
+        self.entries[vpn] = ppn
+
+    def lookup(self, vpn):
+        return self.entries.get(vpn)

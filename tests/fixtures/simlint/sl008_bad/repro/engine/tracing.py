@@ -1,0 +1,11 @@
+"""Stub of the engine hook slots (fixture; parsed, never run)."""
+
+
+class TraceHooks:
+    def __init__(self):
+        self.active = None
+        self.sampler = None
+        self.faults = None
+
+
+HOOKS = TraceHooks()

@@ -1,0 +1,12 @@
+"""SL008 clean: the alias guard pattern (one load, many emits)."""
+
+from ..engine.tracing import HOOKS
+
+
+class Cache:
+    def fill(self, line):
+        sink = HOOKS.active
+        if sink is not None:
+            sink.emit("fill", line=line)
+            sink.emit("fill_done", line=line)
+        return line

@@ -1,0 +1,13 @@
+"""SL008 clean: guarded hook site on the mutation path (direct guard)."""
+
+from ..engine.tracing import HOOKS
+
+
+class TLB:
+    def __init__(self):
+        self.entries = {}
+
+    def fill(self, vpn, ppn):
+        self.entries[vpn] = ppn
+        if HOOKS.active is not None:
+            HOOKS.active.emit("tlb_fill", vpn=vpn, ppn=ppn)

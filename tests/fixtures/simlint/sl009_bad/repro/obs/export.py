@@ -1,0 +1,6 @@
+"""SL009 violation: drops a required key, emits an undeclared one."""
+
+
+def run_document(manifest, data_unused):
+    doc = {"manifest": manifest, "extra": 1}
+    return doc

@@ -1,0 +1,9 @@
+"""SL009 violation: producer renamed away + unknown stat name read."""
+
+
+def profile_payload(name, profile):      # was profile_document
+    return {"manifest": name, "profile": profile}
+
+
+def attribute(scalars):
+    return scalars.get("row_hitz", 0)    # no such stat anywhere

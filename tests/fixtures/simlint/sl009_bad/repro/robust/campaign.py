@@ -1,0 +1,7 @@
+"""SL009 violation: mirror literal drifted from schema.FAULT_OUTCOMES."""
+
+OUTCOMES = ("masked", "detected")
+
+
+def run_campaign(name):
+    return {"kind": "fault_campaign", "outcomes": list(OUTCOMES)}

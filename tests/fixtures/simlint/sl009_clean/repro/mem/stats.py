@@ -1,0 +1,12 @@
+"""Stat registrations the profiler fixture reads (parsed, never run)."""
+
+
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+
+class Meter:
+    def __init__(self, scope, name):
+        self.busy = scope.counter("busy_cycles")
+        self.latency = scope.counter(f"{name}_latency")

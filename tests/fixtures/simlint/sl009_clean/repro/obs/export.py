@@ -1,0 +1,8 @@
+"""SL009 clean producer: keys match RUN_SCHEMA (incl. conditional)."""
+
+
+def run_document(manifest, data, stats=None):
+    doc = {"manifest": manifest, "data": data}
+    if stats is not None:
+        doc["stats"] = stats
+    return doc

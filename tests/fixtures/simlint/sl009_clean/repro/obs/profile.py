@@ -1,0 +1,12 @@
+"""SL009 clean: profile producer + stat reads that all resolve."""
+
+
+def profile_document(name, profile):
+    return {"manifest": name, "profile": profile}
+
+
+def attribute(scalars):
+    # "hits" is a CacheStats field; "busy_cycles" a counter literal;
+    # "fetch_latency" matches the f-string pattern "*_latency".
+    return (scalars.get("hits", 0) + scalars.get("busy_cycles", 0)
+            + scalars.get("fetch_latency", 0))

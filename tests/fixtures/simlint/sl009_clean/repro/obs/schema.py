@@ -1,0 +1,21 @@
+"""Stub schema table (fixture; parsed, never run)."""
+
+RUN_SCHEMA = {
+    "type": "object",
+    "required": ["manifest", "data"],
+    "properties": {"manifest": {}, "data": {}, "stats": {}},
+}
+
+PROFILE_SCHEMA = {
+    "type": "object",
+    "required": ["manifest", "profile"],
+    "properties": {"manifest": {}, "profile": {}},
+}
+
+FAULTS_SCHEMA = {
+    "type": "object",
+    "required": ["kind", "outcomes"],
+    "properties": {"kind": {}, "outcomes": {}},
+}
+
+FAULT_OUTCOMES = ("masked", "crash")

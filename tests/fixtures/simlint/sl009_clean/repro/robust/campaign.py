@@ -1,0 +1,7 @@
+"""SL009 clean: mirror literal equal, campaign keys match its schema."""
+
+OUTCOMES = ("masked", "crash")
+
+
+def run_campaign(name):
+    return {"kind": "fault_campaign", "outcomes": list(OUTCOMES)}
