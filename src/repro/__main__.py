@@ -40,6 +40,14 @@ Options:
                        --metrics / --profile / --max-cycles (armed hooks
                        make the engine fall back to scalar stepping per
                        batch, so observability output is unchanged)
+    --fleet-workers N  run shardable experiments (currently: sparsity)
+                       through the repro.fleet worker pool with N
+                       processes (0 = auto: $REPRO_FLEET_WORKERS, then
+                       the CPU count); the merged output is identical
+                       to the serial path
+    --resume           reuse content-addressed shard artifacts under
+                       <results-dir>/fleet/ from earlier fleet runs,
+                       so repeated or killed sweeps skip finished work
 
 Running ``all`` with ``--json`` additionally writes results/cli_all.json
 aggregating every experiment's data payload into one document.
@@ -104,8 +112,18 @@ def _run_figure11():
 
 def _run_sparsity():
     from .eval.sparsity_sweep import format_sweep, run_sparsity_sweep
-    points = run_sparsity_sweep()
+    from .fleet.runner import default_fleet_resume, default_fleet_workers
+    workers = default_fleet_workers()
+    fleet_summary = {} if workers is not None else None
+    points = run_sparsity_sweep(fleet_workers=workers,
+                                resume=default_fleet_resume(),
+                                fleet_summary=fleet_summary)
     print(format_sweep(points))
+    if fleet_summary:
+        print(f"[fleet: {fleet_summary['shards']} shard(s): "
+              f"{fleet_summary['hits']} cached, "
+              f"{fleet_summary['misses']} executed, "
+              f"{fleet_summary['workers']} worker(s)]")
     return {"points": [asdict(point) for point in points]}
 
 
@@ -261,6 +279,24 @@ def main(argv=None):
                 return 2
             from .engine.batch import set_default_engine_mode
             set_default_engine_mode(mode)
+        elif arg == "--fleet-workers":
+            i += 1
+            if i >= len(args):
+                print("--fleet-workers requires a worker count")
+                return 2
+            try:
+                fleet_workers = int(args[i])
+            except ValueError:
+                print(f"--fleet-workers needs an integer, got {args[i]!r}")
+                return 2
+            if fleet_workers < 0:
+                print("--fleet-workers must be >= 0 (0 = auto)")
+                return 2
+            from .fleet.runner import default_fleet_resume, set_default_fleet
+            set_default_fleet(fleet_workers, resume=default_fleet_resume())
+        elif arg == "--resume":
+            from .fleet.runner import default_fleet_workers, set_default_fleet
+            set_default_fleet(default_fleet_workers(), resume=True)
         elif arg.startswith("-"):
             print(f"unknown option {arg}; try `python -m repro list`")
             return 2

@@ -12,7 +12,9 @@ from .hardware_cost import (HardwareCost, compute_hardware_cost,
                             format_hardware_cost)
 from .remap_latency import (RemapLatency, format_remap_latency,
                             measure_remap_latency)
-from .sparsity_sweep import SparsityPoint, format_sweep, run_sparsity_sweep
+from .sparsity_sweep import (SparsityPoint, format_sweep,
+                             run_sparsity_point_shard, run_sparsity_sweep,
+                             sparsity_shards)
 from .spmv_experiment import (Figure10Point, crossover_locality,
                               format_figure10, run_figure10)
 
@@ -23,4 +25,5 @@ __all__ = ["BLOCK_SIZES", "BenchmarkComparison", "DEFAULT_CONFIG",
            "format_figure11", "format_figure8", "format_figure9",
            "format_hardware_cost", "format_remap_latency", "format_sweep",
            "mean_overhead", "run_benchmark", "run_figure10", "run_figure11",
-           "run_policy", "run_sparsity_sweep", "run_suite", "summarize"]
+           "run_policy", "run_sparsity_point_shard", "run_sparsity_sweep",
+           "run_suite", "sparsity_shards", "summarize"]

@@ -1,0 +1,101 @@
+"""Content-addressed shard result cache under ``results/fleet/``.
+
+Each executed shard leaves one artifact at
+``<cache_dir>/<shard.key()>.json`` holding the shard's identity (kind,
+key, params, deterministic manifest) plus its payload, written through
+the crash-safe :func:`repro.obs.export.write_json` — a worker killed
+mid-write can never leave a torn entry, so every file the resume scan
+finds is complete.
+
+A cache *hit* requires the stored document to validate against
+:data:`SHARD_CACHE_SCHEMA`, carry the current :data:`~repro.fleet.
+shards.FLEET_FORMAT`, and echo the shard's own key.  Anything else —
+a hand-edited file, an entry from an older format, a key mismatch — is
+treated as a miss and recomputed; a stale cache can slow a resume down
+but can never corrupt a merged result.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator, Optional, Union
+
+from ..obs.export import write_json
+from ..obs.schema import schema_errors
+from .shards import FLEET_FORMAT, Shard
+
+#: Schema of one ``<key>.json`` shard cache document.
+SHARD_CACHE_SCHEMA = {
+    "type": "object",
+    "required": ["fleet_format", "kind", "key", "params", "manifest",
+                 "payload"],
+    "properties": {
+        "fleet_format": {"type": "integer", "minimum": 1},
+        "kind": {"type": "string"},
+        "key": {"type": "string"},
+        "params": {"type": "object"},
+        "manifest": {"type": "object"},
+        "payload": {},
+    },
+    "additionalProperties": False,
+}
+
+#: Sentinel distinguishing "no cached payload" from a cached ``None``.
+MISS = object()
+
+
+def shard_cache_path(cache_dir: Union[str, Path], shard: Shard) -> Path:
+    """Where *shard*'s result artifact lives under *cache_dir*."""
+    return Path(cache_dir) / f"{shard.key()}.json"
+
+
+def store_shard_result(cache_dir: Union[str, Path], shard: Shard,
+                       payload: Any) -> Path:
+    """Atomically write *shard*'s result document; returns its path."""
+    doc = {
+        "fleet_format": FLEET_FORMAT,
+        "kind": shard.kind,
+        "key": shard.key(),
+        "params": shard.params,
+        "manifest": shard.manifest,
+        "payload": payload,
+    }
+    return write_json(shard_cache_path(cache_dir, shard), doc)
+
+
+def load_shard_result(cache_dir: Union[str, Path], shard: Shard) -> Any:
+    """The cached payload for *shard*, or :data:`MISS`.
+
+    Only a complete, schema-valid document whose embedded key matches
+    the shard's own content address counts as a hit; a missing,
+    corrupt, foreign-format or mismatched entry is a miss (the runner
+    recomputes and overwrites it).
+    """
+    path = shard_cache_path(cache_dir, shard)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return MISS
+    if schema_errors(doc, SHARD_CACHE_SCHEMA):
+        return MISS
+    if doc["fleet_format"] != FLEET_FORMAT or doc["kind"] != shard.kind:
+        return MISS
+    if doc["key"] != shard.key():
+        return MISS
+    return doc["payload"]
+
+
+def scan_cache(cache_dir: Union[str, Path]) -> Iterator[str]:
+    """The shard keys with an artifact present under *cache_dir*.
+
+    This is the resume-after-kill primitive: a fresh fleet run scans
+    the directory a killed run left behind and skips every key found
+    here (subject to the per-shard validation in
+    :func:`load_shard_result`).
+    """
+    directory = Path(cache_dir)
+    if not directory.is_dir():
+        return
+    for entry in sorted(directory.glob("*.json")):
+        yield entry.stem

@@ -15,9 +15,12 @@ documents are excluded before flattening, exactly mirroring
 
 CI runs this as ``python -m repro.obs compare baseline.json fresh.json
 --threshold 20`` and fails the build on any verdict of ``regression``
-(the process exits nonzero).  Paths present in only one document are
-reported but do not fail the gate — experiments grow metrics — unless
-``fail_on_missing`` is set.
+or ``from-zero`` (the process exits nonzero).  A metric whose baseline
+is exactly zero has no meaningful percent delta, so any departure from
+it gets the dedicated ``from-zero`` verdict and fails the gate rather
+than sneaking under a finite threshold.  Paths present in only one
+document are reported but do not fail the gate — experiments grow
+metrics — unless ``fail_on_missing`` is set.
 """
 
 from __future__ import annotations
@@ -92,7 +95,8 @@ class MetricDelta:
     a: Optional[float]
     b: Optional[float]
     threshold_pct: float
-    verdict: str = ""          # equal | changed | regression | only-a | only-b
+    # equal | changed | regression | from-zero | only-a | only-b
+    verdict: str = ""
     pct: float = 0.0
 
     def judge(self) -> "MetricDelta":
@@ -105,8 +109,14 @@ class MetricDelta:
         if self.b == self.a:
             self.verdict, self.pct = "equal", 0.0
             return self
-        self.pct = ((self.b - self.a) / abs(self.a) * 100.0
-                    if self.a else inf)
+        if self.a == 0:
+            # No percentage exists relative to a zero baseline: a metric
+            # that springs from 0 is infinitely changed, so no finite
+            # threshold can wave it through.  The distinct verdict keeps
+            # it from masquerading as an in-gate "changed".
+            self.verdict, self.pct = "from-zero", inf
+            return self
+        self.pct = (self.b - self.a) / abs(self.a) * 100.0
         self.verdict = ("regression"
                         if abs(self.pct) > self.threshold_pct
                         else "changed")
@@ -131,7 +141,7 @@ class CompareResult:
 
     @property
     def regressions(self) -> List[MetricDelta]:
-        out = self.by_verdict("regression")
+        out = self.by_verdict("regression", "from-zero")
         if self.fail_on_missing:
             out += self.by_verdict("only-a", "only-b")
         return out

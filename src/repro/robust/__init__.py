@@ -14,10 +14,13 @@ every lower layer, nothing imports it).  Three pieces:
   consistency, TLB coherence, OMS free-list integrity);
 * :mod:`repro.robust.campaign` — the campaign runner
   (``python -m repro.robust``) sweeping fault rates and classifying
-  trial outcomes into ``results/<name>.faults.json``.
+  trial outcomes into ``results/<name>.faults.json``; it decomposes
+  into per-(rate, trial) shards for :mod:`repro.fleet`
+  (``--fleet-workers`` / ``--resume``).
 """
 
-from .campaign import (DEFAULT_BASE_PLAN, OUTCOMES, run_campaign,
+from .campaign import (DEFAULT_BASE_PLAN, OUTCOMES, campaign_shards,
+                       fault_seed_grid, run_campaign, run_fault_trial_shard,
                        run_trial, synthesize_workload)
 from .faults import (ECC_MODES, FaultInjector, FaultPlan, FaultStats,
                      fault_session)
@@ -34,8 +37,11 @@ __all__ = [
     "OUTCOMES",
     "RULES",
     "Violation",
+    "campaign_shards",
+    "fault_seed_grid",
     "fault_session",
     "run_campaign",
+    "run_fault_trial_shard",
     "run_trial",
     "synthesize_workload",
 ]

@@ -32,6 +32,13 @@ plan, tallies outcomes per rate, and writes
 *deterministic* manifest half only, so the same ``rng_seed`` plus the
 same plan reproduce the artifact byte for byte (the CI robustness job
 asserts exactly this).
+
+Because every trial builds its own machines and derives its own RNG
+streams, a campaign decomposes into per-(rate, trial) shards: pass
+``fleet_workers`` to run them through :func:`repro.fleet.run_fleet`
+(content-addressed caching, ``resume=True`` to reuse a previous —
+possibly killed — run's shard artifacts).  The merged document is
+byte-identical to the serial path's; the CI fleet job asserts this.
 """
 
 from __future__ import annotations
@@ -42,6 +49,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..core.address import PAGE_SIZE
 from ..engine.rng import derive_rng, resolve_seed
+from ..fleet.runner import run_fleet
+from ..fleet.shards import Shard
 from ..obs.export import default_results_dir, write_json
 from ..obs.manifest import RunManifest
 from ..obs.schema import FAULTS_SCHEMA, validate
@@ -74,10 +83,49 @@ DEFAULT_BASE_PLAN = FaultPlan(
     segment_pointer_rate=0.25,
 )
 
-#: Decorrelation strides for per-trial fault seeds (distinct primes so
-#: (rate, trial) pairs never collide within a realistic sweep).
+#: Decorrelation strides for per-trial fault seeds.  Distinct primes
+#: keep (rate, trial) pairs apart, but that is *checked*, not assumed:
+#: :func:`fault_seed_grid` raises on any duplicate derived seed.
 _RATE_STRIDE = 7919
 _TRIAL_STRIDE = 104729
+
+
+def fault_seed_grid(fault_base_seed: int, num_rates: int, trials: int, *,
+                    rate_stride: int = _RATE_STRIDE,
+                    trial_stride: int = _TRIAL_STRIDE) -> List[List[int]]:
+    """Per-(rate, trial) fault seeds, verified collision-free.
+
+    Two grid cells sharing a seed would inject *identical* fault
+    sequences while claiming to be independent trials — silently
+    narrowing the campaign's coverage.  The stride arithmetic makes
+    that impossible for any grid smaller than ``trial_stride`` rates by
+    ``rate_stride`` trials, but rather than trust the comment this
+    builds the full seed set and raises :class:`ValueError` naming the
+    first colliding pair.
+    """
+    if num_rates < 0 or trials < 0:
+        raise ValueError(f"grid dimensions must be >= 0, got "
+                         f"{num_rates} rate(s) x {trials} trial(s)")
+    seen: Dict[int, Tuple[int, int]] = {}
+    grid: List[List[int]] = []
+    for rate_index in range(num_rates):
+        row = []
+        for trial in range(trials):
+            fault_seed = (fault_base_seed + rate_stride * rate_index
+                          + trial_stride * trial)
+            if fault_seed in seen:
+                first_rate, first_trial = seen[fault_seed]
+                raise ValueError(
+                    f"fault seed collision across the rate x trial grid: "
+                    f"(rate {rate_index}, trial {trial}) and "
+                    f"(rate {first_rate}, trial {first_trial}) both derive "
+                    f"seed {fault_seed} with strides {rate_stride}/"
+                    f"{trial_stride}; such trials would inject identical "
+                    f"fault sequences")
+            seen[fault_seed] = (rate_index, trial)
+            row.append(fault_seed)
+        grid.append(row)
+    return grid
 
 
 def synthesize_workload(rng, ops: int, pages: int) -> List[Tuple]:
@@ -89,9 +137,20 @@ def synthesize_workload(rng, ops: int, pages: int) -> List[Tuple]:
     overlay lines into OMS segments (whose metadata the segment-pointer
     fault targets), and ``commit`` promotions drive broadcast commits
     and segment frees.
+
+    *ops* must be non-negative and *pages* must map a span wider than
+    the 8-byte accesses the mix places (with 4 KiB pages: at least one
+    page); degenerate inputs raise :class:`ValueError` up front instead
+    of crashing inside ``rng.randrange`` mid-generation.
     """
-    base = BASE_VPN * PAGE_SIZE
+    if ops < 0:
+        raise ValueError(f"ops must be >= 0, got {ops}")
     span = pages * PAGE_SIZE
+    if span <= 8:
+        raise ValueError(
+            f"workload span must exceed 8 bytes to place 8-byte accesses: "
+            f"pages={pages} gives a {span}-byte span; pass pages >= 1")
+    base = BASE_VPN * PAGE_SIZE
     result: List[Tuple] = []
     for _ in range(ops):
         roll = rng.random()
@@ -228,19 +287,80 @@ def run_trial(plan: FaultPlan, *, ops: int = 160, pages: int = 4,
     return record
 
 
+def campaign_shards(rates: Sequence[float], seed_grid: List[List[int]],
+                    base: FaultPlan, manifest: Dict[str, Any], *,
+                    trials: int, ops: int, pages: int, cores: int,
+                    check_interval: int, recover: bool,
+                    workload_seed: int) -> List[Shard]:
+    """One ``fault_trial`` shard per (rate, trial) grid cell.
+
+    Each shard is self-contained: the scaled per-site rates, the derived
+    fault seed, the workload parameters, and the deterministic manifest
+    half (whose ``config`` the worker rebuilds its
+    :class:`~repro.config.SystemConfig` from).
+    """
+    shards: List[Shard] = []
+    for rate_index, rate in enumerate(rates):
+        scaled = base.scaled(rate)
+        for trial in range(trials):
+            params = {
+                "plan_rates": dict(sorted(scaled.rates().items())),
+                "ecc": scaled.ecc,
+                "stream": scaled.stream,
+                "fault_seed": seed_grid[rate_index][trial],
+                "ops": ops, "pages": pages, "cores": cores,
+                "workload_seed": workload_seed,
+                "check_interval": check_interval,
+                "recover": recover,
+            }
+            shards.append(Shard(kind="fault_trial", index=len(shards),
+                                params=params, manifest=manifest))
+    return shards
+
+
+def run_fault_trial_shard(shard: Shard) -> Dict[str, Any]:
+    """Execute one campaign shard (the ``fault_trial`` fleet runner).
+
+    Reconstructs the config and plan from the shard's JSON-ready data
+    and produces exactly the trial record the serial loop would.
+    """
+    params = shard.params
+    config = SystemConfig(**shard.manifest["config"])
+    plan = FaultPlan(ecc=params["ecc"], seed=params["fault_seed"],
+                     stream=params["stream"], **params["plan_rates"])
+    record = run_trial(plan, ops=params["ops"], pages=params["pages"],
+                       cores=params["cores"],
+                       workload_seed=params["workload_seed"],
+                       check_interval=params["check_interval"],
+                       recover=params["recover"], config=config)
+    record["fault_seed"] = params["fault_seed"]
+    return record
+
+
 def run_campaign(name: str, rates: Sequence[float], *, trials: int = 4,
                  ops: int = 160, pages: int = 4, cores: int = 2,
                  ecc: str = "secded", check_interval: int = 0,
                  recover: bool = True, seed: Optional[int] = None,
                  base_plan: Optional[FaultPlan] = None,
                  config: Optional[SystemConfig] = None,
-                 results_dir=None) -> Dict[str, Any]:
+                 results_dir=None, fleet_workers: Optional[int] = None,
+                 resume: bool = False,
+                 fleet_summary: Optional[Dict[str, Any]] = None
+                 ) -> Dict[str, Any]:
     """Sweep *rates* over the base plan; write ``<name>.faults.json``.
 
     Returns the validated document (already written).  *rates* are
     multipliers applied to :data:`DEFAULT_BASE_PLAN`'s per-site weights;
     *seed* overrides the config's base RNG seed for both the workload
     and the fault streams.
+
+    With *fleet_workers* set (``0`` = auto-resolve), trials shard
+    through :func:`repro.fleet.run_fleet` — run in parallel, each
+    leaving a content-addressed artifact under
+    ``<results_dir>/fleet/<name>/`` — and merge into the byte-identical
+    serial document.  *resume* reuses artifacts a previous run (killed
+    or complete) left in that cache; pass a dict as *fleet_summary* to
+    receive the shard/hit/miss/worker counters.
     """
     config = config or DEFAULT_CONFIG
     base = base_plan or DEFAULT_BASE_PLAN
@@ -249,28 +369,47 @@ def run_campaign(name: str, rates: Sequence[float], *, trials: int = 4,
     workload_seed = resolve_seed(seed, stream=WORKLOAD_STREAM,
                                  config=config)
     fault_base_seed = resolve_seed(seed, stream=base.stream, config=config)
+    seed_grid = fault_seed_grid(fault_base_seed, len(rates), trials)
+    manifest = RunManifest.create(name, config=config, seed=seed)
+    results = (default_results_dir() if results_dir is None
+               else Path(results_dir))
+    if fleet_workers is None:
+        records: List[Dict[str, Any]] = []
+        for rate_index, rate in enumerate(rates):
+            scaled = base.scaled(rate)
+            for trial in range(trials):
+                fault_seed = seed_grid[rate_index][trial]
+                plan = FaultPlan(ecc=scaled.ecc, seed=fault_seed,
+                                 stream=scaled.stream, **scaled.rates())
+                record = run_trial(plan, ops=ops, pages=pages, cores=cores,
+                                   workload_seed=workload_seed,
+                                   check_interval=check_interval,
+                                   recover=recover, config=config)
+                record["fault_seed"] = fault_seed
+                records.append(record)
+    else:
+        shards = campaign_shards(
+            rates, seed_grid, base, manifest.deterministic_dict(),
+            trials=trials, ops=ops, pages=pages, cores=cores,
+            check_interval=check_interval, recover=recover,
+            workload_seed=workload_seed)
+        result = run_fleet(shards, workers=fleet_workers, resume=resume,
+                           cache_dir=results / "fleet" / name)
+        if fleet_summary is not None:
+            fleet_summary.update(result.summary.to_dict())
+        records = result.payloads
     sweep: List[Dict[str, Any]] = []
     totals = {outcome: 0 for outcome in OUTCOMES}
-    for rate_index, rate in enumerate(rates):
-        scaled = base.scaled(rate)
-        trial_records: List[Dict[str, Any]] = []
+    position = 0
+    for rate in rates:
+        trial_records = records[position:position + trials]
+        position += trials
         tally = {outcome: 0 for outcome in OUTCOMES}
-        for trial in range(trials):
-            fault_seed = (fault_base_seed + _RATE_STRIDE * rate_index
-                          + _TRIAL_STRIDE * trial)
-            plan = FaultPlan(ecc=scaled.ecc, seed=fault_seed,
-                             stream=scaled.stream, **scaled.rates())
-            record = run_trial(plan, ops=ops, pages=pages, cores=cores,
-                               workload_seed=workload_seed,
-                               check_interval=check_interval,
-                               recover=recover, config=config)
-            record["fault_seed"] = fault_seed
-            trial_records.append(record)
+        for record in trial_records:
             tally[record["outcome"]] += 1
             totals[record["outcome"]] += 1
         sweep.append({"rate": rate, "outcomes": tally,
                       "trials": trial_records})
-    manifest = RunManifest.create(name, config=config, seed=seed)
     doc: Dict[str, Any] = {
         "kind": "fault_campaign",
         "name": name,
@@ -284,7 +423,5 @@ def run_campaign(name: str, rates: Sequence[float], *, trials: int = 4,
         "outcome_totals": totals,
     }
     validate(doc, FAULTS_SCHEMA, f"{name} fault campaign")
-    results = (default_results_dir() if results_dir is None
-               else Path(results_dir))
     write_json(results / f"{name}.faults.json", doc)
     return doc

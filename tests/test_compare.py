@@ -5,7 +5,8 @@ The contract under test (DESIGN.md "Observability"):
 * flattening covers every numeric leaf (dicts by key, lists by index)
   and excludes the environment sections (``manifest``, ``wall``);
 * thresholds are percent, matched by ``fnmatch`` pattern, first match
-  wins; a zero baseline moving at all is an unbounded regression;
+  wins; a zero baseline moving at all earns the dedicated ``from-zero``
+  verdict and fails the gate regardless of threshold;
 * two seeded reruns of the same experiment compare clean (exit 0);
   an injected change beyond its threshold fails the gate (exit 1).
 """
@@ -81,10 +82,23 @@ class TestVerdicts:
                                    default_threshold=20)
         assert not result.ok
 
-    def test_zero_baseline_moving_is_unbounded_regression(self):
+    def test_zero_baseline_moving_gets_the_from_zero_verdict(self):
+        """No percentage exists relative to 0: the departure is named
+        ``from-zero`` (not a threshold-relative "changed"/"regression")
+        and fails the gate no matter how wide the threshold."""
         result = compare_documents({"x": 0}, {"x": 1},
                                    default_threshold=1e9)
         assert not result.ok
+        (delta,) = result.deltas
+        assert delta.verdict == "from-zero"
+        assert delta.pct == float("inf")
+
+    def test_zero_to_zero_is_equal_and_to_zero_is_percent(self):
+        assert compare_documents({"x": 0}, {"x": 0}).ok
+        result = compare_documents({"x": 4}, {"x": 0},
+                                   default_threshold=150)
+        (delta,) = result.deltas
+        assert delta.verdict == "changed" and delta.pct == -100.0
 
     def test_per_pattern_thresholds_override_default(self):
         result = compare_documents(
@@ -162,6 +176,13 @@ class TestMetricDelta:
         assert MetricDelta("p", 5, 5, 0).judge().verdict == "equal"
         assert MetricDelta("p", 4, 5, 50).judge().verdict == "changed"
         assert MetricDelta("p", 4, 8, 50).judge().verdict == "regression"
+        assert MetricDelta("p", 0, 1, 50).judge().verdict == "from-zero"
+
+    def test_from_zero_fails_the_gate(self):
+        result = CompareResult("a", "b", [
+            MetricDelta("p", 0, 3, 1e9).judge()])
+        assert [d.path for d in result.regressions] == ["p"]
+        assert not result.ok
 
     def test_compare_result_regression_accessors(self):
         result = CompareResult("a", "b", [

@@ -18,8 +18,8 @@ import pytest
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.engine.rng import derive_rng
 from repro.obs.schema import FAULTS_SCHEMA, SchemaError, validate
-from repro.robust import (OUTCOMES, FaultPlan, run_campaign, run_trial,
-                          synthesize_workload)
+from repro.robust import (OUTCOMES, FaultPlan, fault_seed_grid,
+                          run_campaign, run_trial, synthesize_workload)
 from repro.robust.__main__ import main as robust_cli
 from repro.robust.campaign import WORKLOAD_STREAM
 
@@ -40,6 +40,42 @@ class TestWorkload:
         ops = synthesize_workload(_workload_rng(1), 400, 2)
         kinds = {op[0] for op in ops}
         assert kinds == {"write", "read", "flush", "promote"}
+
+    def test_tiny_span_rejected_up_front(self):
+        """pages=0 used to crash inside ``rng.randrange(span - 8)`` with
+        an opaque ``ValueError: empty range``; now it is validated."""
+        with pytest.raises(ValueError, match="pages >= 1"):
+            synthesize_workload(_workload_rng(1), 40, 0)
+        with pytest.raises(ValueError, match="pages >= 1"):
+            synthesize_workload(_workload_rng(1), 40, -1)
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ValueError, match="ops must be >= 0"):
+            synthesize_workload(_workload_rng(1), -1, 2)
+        assert synthesize_workload(_workload_rng(1), 0, 2) == []
+
+
+class TestFaultSeedGrid:
+    def test_matches_the_stride_formula(self):
+        grid = fault_seed_grid(100, 2, 3)
+        assert grid == [[100 + 104729 * t for t in range(3)],
+                        [100 + 7919 + 104729 * t for t in range(3)]]
+
+    def test_collisions_raise_instead_of_silently_narrowing(self):
+        """With degenerate strides (rate 2, trial 4), (rate 2, trial 0)
+        and (rate 0, trial 1) derive the same seed — the check names
+        the colliding pair instead of running duplicate trials."""
+        with pytest.raises(ValueError, match="collision"):
+            fault_seed_grid(0, 3, 2, rate_stride=2, trial_stride=4)
+        # The production strides really are collision-free for the
+        # grid sizes campaigns use.
+        grid = fault_seed_grid(0, 40, 40)
+        flat = [seed for row in grid for seed in row]
+        assert len(set(flat)) == len(flat)
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            fault_seed_grid(0, -1, 2)
 
 
 class TestOutcomeClasses:
@@ -158,11 +194,27 @@ class TestCli:
         assert "clismoke" in out and "masked" in out
         assert (tmp_path / "clismoke.faults.json").exists()
 
+    def test_fleet_flags_produce_the_identical_artifact(self, tmp_path,
+                                                        capsys):
+        base = ["--name", "flt", "--rates", "0.0,0.02", "--trials", "1",
+                "--ops", "40", "--pages", "2", "--seed", "7"]
+        assert robust_cli(base + ["--results-dir",
+                                  str(tmp_path / "s")]) == 0
+        assert robust_cli(base + ["--results-dir", str(tmp_path / "f"),
+                                  "--fleet-workers", "1", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "[fleet: 2 shard(s): 0 cached, 2 executed" in out
+        assert ((tmp_path / "s" / "flt.faults.json").read_bytes()
+                == (tmp_path / "f" / "flt.faults.json").read_bytes())
+
     def test_bad_arguments(self, capsys):
         assert robust_cli(["--rates", "a,b"]) == 2
         assert robust_cli(["--trials", "x"]) == 2
         assert robust_cli(["--trials", "0"]) == 2
         assert robust_cli(["--ecc", "bogus"]) == 2
+        assert robust_cli(["--fleet-workers", "-1"]) == 2
+        assert robust_cli(["--fleet-workers", "x"]) == 2
+        assert robust_cli(["--fleet-workers"]) == 2
         assert robust_cli(["--wat"]) == 2
         capsys.readouterr()
 
