@@ -120,10 +120,13 @@ def _run_sparsity():
                                 fleet_summary=fleet_summary)
     print(format_sweep(points))
     if fleet_summary:
+        corrupt = fleet_summary.get("corrupt", 0)
         print(f"[fleet: {fleet_summary['shards']} shard(s): "
               f"{fleet_summary['hits']} cached, "
               f"{fleet_summary['misses']} executed, "
-              f"{fleet_summary['workers']} worker(s)]")
+              f"{fleet_summary['workers']} worker(s)"
+              + (f", {corrupt} corrupt artifact(s) recomputed"
+                 if corrupt else "") + "]")
     return {"points": [asdict(point) for point in points]}
 
 

@@ -48,6 +48,16 @@ class SimulationHangError(RuntimeError):
         self.limit = limit
         self.snapshot = snapshot
 
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` — here the
+        # formatted *message* — into ``__init__``, which expects
+        # ``(limit, snapshot)`` and blows up during unpickling.  A
+        # worker raising the watchdog error across a process pool would
+        # then surface as an opaque BrokenProcessPool instead of the
+        # diagnosis it carries.  Rebuild from the real constructor
+        # arguments so limit, snapshot and message all survive.
+        return (type(self), (self.limit, self.snapshot))
+
 
 #: Process-wide default watchdog limit new clocks adopt (None: no limit).
 #: The CLI's ``--max-cycles`` flag sets it for the experiments it runs.

@@ -24,8 +24,9 @@ N)`` and ``repro.eval.sparsity_sweep.run_sparsity_sweep(fleet_workers=
 N)``; the CLIs expose ``--fleet-workers N`` / ``--resume``.
 """
 
-from .cache import (MISS, SHARD_CACHE_SCHEMA, load_shard_result, scan_cache,
-                    shard_cache_path, store_shard_result)
+from .cache import (MISS, SHARD_CACHE_SCHEMA, CacheScan, load_shard_result,
+                    probe_shard_result, scan_cache, shard_cache_path,
+                    store_shard_result)
 from .runner import (FALLBACK_WORKERS, WORKERS_ENV, FleetResult,
                      FleetSummary, default_fleet_resume,
                      default_fleet_workers, resolve_worker_count, run_fleet,
@@ -34,6 +35,7 @@ from .shards import (FLEET_FORMAT, SHARD_RUNNERS, Shard, ShardError,
                      execute_shard)
 
 __all__ = [
+    "CacheScan",
     "FALLBACK_WORKERS",
     "FLEET_FORMAT",
     "FleetResult",
@@ -48,6 +50,7 @@ __all__ = [
     "default_fleet_workers",
     "execute_shard",
     "load_shard_result",
+    "probe_shard_result",
     "resolve_worker_count",
     "run_fleet",
     "scan_cache",

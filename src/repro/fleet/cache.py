@@ -18,8 +18,9 @@ but can never corrupt a merged result.
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
-from typing import Any, Iterator, Optional, Union
+from typing import Any, Iterator, List, Optional, Tuple, Union
 
 from ..obs.export import write_json
 from ..obs.schema import schema_errors
@@ -64,6 +65,56 @@ def store_shard_result(cache_dir: Union[str, Path], shard: Shard,
     return write_json(shard_cache_path(cache_dir, shard), doc)
 
 
+def _read_artifact(path: Path,
+                   expected_key: str) -> Tuple[Optional[dict], List[str]]:
+    """``(document, problems)`` for the artifact at *path*.
+
+    A valid entry returns ``(doc, [])``.  A missing file reports
+    ``(None, ["absent"])`` so callers can distinguish "never computed"
+    from "computed but mangled" (truncated by something other than the
+    atomic writer, hand-edited, foreign format...).
+    """
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return None, ["absent"]
+    except OSError as error:
+        return None, [f"unreadable: {error}"]
+    try:
+        doc = json.loads(text)
+    except ValueError as error:
+        return None, [f"not JSON: {error}"]
+    problems = schema_errors(doc, SHARD_CACHE_SCHEMA)
+    if problems:
+        return None, problems
+    if doc["fleet_format"] != FLEET_FORMAT:
+        return None, [f"foreign fleet_format {doc['fleet_format']!r}"]
+    if doc["key"] != expected_key:
+        return None, [f"embedded key {doc['key']!r} != {expected_key!r}"]
+    return doc, []
+
+
+def probe_shard_result(cache_dir: Union[str, Path],
+                       shard: Shard) -> Tuple[Any, bool]:
+    """``(payload, corrupt)`` for *shard*'s cache entry.
+
+    The payload is :data:`MISS` unless a complete, schema-valid
+    document with the shard's own content address is present;
+    ``corrupt`` is true when a file *exists* at the shard's path but
+    fails that validation — the signature of an artifact mangled
+    outside the crash-safe writer.  Either way a non-hit is recomputed
+    and overwritten; the flag only feeds the
+    :class:`~repro.fleet.runner.FleetSummary` ``corrupt`` counter.
+    """
+    path = shard_cache_path(cache_dir, shard)
+    doc, problems = _read_artifact(path, shard.key())
+    if doc is not None:
+        if doc["kind"] != shard.kind:
+            return MISS, True
+        return doc["payload"], False
+    return MISS, problems != ["absent"]
+
+
 def load_shard_result(cache_dir: Union[str, Path], shard: Shard) -> Any:
     """The cached payload for *shard*, or :data:`MISS`.
 
@@ -72,30 +123,50 @@ def load_shard_result(cache_dir: Union[str, Path], shard: Shard) -> Any:
     corrupt, foreign-format or mismatched entry is a miss (the runner
     recomputes and overwrites it).
     """
-    path = shard_cache_path(cache_dir, shard)
-    try:
-        doc = json.loads(path.read_text())
-    except (OSError, ValueError):
-        return MISS
-    if schema_errors(doc, SHARD_CACHE_SCHEMA):
-        return MISS
-    if doc["fleet_format"] != FLEET_FORMAT or doc["kind"] != shard.kind:
-        return MISS
-    if doc["key"] != shard.key():
-        return MISS
-    return doc["payload"]
+    payload, _ = probe_shard_result(cache_dir, shard)
+    return payload
 
 
-def scan_cache(cache_dir: Union[str, Path]) -> Iterator[str]:
-    """The shard keys with an artifact present under *cache_dir*.
+class CacheScan:
+    """Iterator over the valid shard keys under a cache directory.
+
+    Corrupt artifacts — files a crash or a stray editor left behind
+    that no longer parse, validate, or match their own filename — are
+    *skipped*, tallied on :attr:`corrupt`, and reported in one warning
+    line, instead of aborting the scan: a resume must never be blocked
+    by the debris of the crash it is resuming from.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]):
+        self._directory = Path(cache_dir)
+        self.corrupt = 0
+        self.scanned = 0
+
+    def __iter__(self) -> Iterator[str]:
+        if not self._directory.is_dir():
+            return
+        bad: List[str] = []
+        for entry in sorted(self._directory.glob("*.json")):
+            self.scanned += 1
+            doc, _ = _read_artifact(entry, entry.stem)
+            if doc is None:
+                self.corrupt += 1
+                bad.append(entry.name)
+                continue
+            yield entry.stem
+        if bad:
+            print(f"[fleet cache: skipped {len(bad)} corrupt artifact(s) "
+                  f"under {self._directory}: {', '.join(bad)}]",
+                  file=sys.stderr)
+
+
+def scan_cache(cache_dir: Union[str, Path]) -> CacheScan:
+    """The shard keys with a *valid* artifact present under *cache_dir*.
 
     This is the resume-after-kill primitive: a fresh fleet run scans
     the directory a killed run left behind and skips every key found
     here (subject to the per-shard validation in
-    :func:`load_shard_result`).
+    :func:`load_shard_result`).  The returned :class:`CacheScan`
+    iterates the keys and counts the corrupt entries it skipped.
     """
-    directory = Path(cache_dir)
-    if not directory.is_dir():
-        return
-    for entry in sorted(directory.glob("*.json")):
-        yield entry.stem
+    return CacheScan(cache_dir)

@@ -40,7 +40,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..engine import process_state
 from ..engine.process_state import register as register_process_state
-from .cache import MISS, load_shard_result, store_shard_result
+from .cache import MISS, probe_shard_result, store_shard_result
 from .shards import Shard, execute_shard
 
 #: Environment fallback for the worker count (the CLI flag wins).
@@ -139,7 +139,9 @@ class FleetSummary:
     ``hits`` + ``misses`` always equals ``shards``; a second identical
     invocation with ``resume=True`` reports ``misses == 0`` — zero
     simulation work — which is the property the CI fleet job and the
-    cache tests assert.
+    cache tests assert.  ``corrupt`` counts cache entries that existed
+    but failed validation (and were recomputed); it overlaps ``misses``
+    rather than adding to the total.
     """
 
     shards: int
@@ -147,16 +149,20 @@ class FleetSummary:
     misses: int
     workers: int
     resumed: bool
+    corrupt: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {"shards": self.shards, "hits": self.hits,
                 "misses": self.misses, "workers": self.workers,
-                "resumed": self.resumed}
+                "resumed": self.resumed, "corrupt": self.corrupt}
 
     def describe(self) -> str:
         """One human line for CLI output."""
-        return (f"{self.shards} shard(s): {self.hits} cached, "
+        line = (f"{self.shards} shard(s): {self.hits} cached, "
                 f"{self.misses} executed, {self.workers} worker(s)")
+        if self.corrupt:
+            line += f", {self.corrupt} corrupt artifact(s) recomputed"
+        return line
 
 
 @dataclass
@@ -198,9 +204,11 @@ def run_fleet(shards: Sequence[Shard], *, workers: Optional[int] = None,
     payloads: List[Any] = [sentinel] * len(shards)
     pending: List[Tuple[int, Shard]] = []
     hits = 0
+    corrupt = 0
     for position, shard in enumerate(shards):
         if resume:
-            cached = load_shard_result(cache_dir, shard)
+            cached, mangled = probe_shard_result(cache_dir, shard)
+            corrupt += mangled
             if cached is not MISS:
                 payloads[position] = cached
                 hits += 1
@@ -223,5 +231,5 @@ def run_fleet(shards: Sequence[Shard], *, workers: Optional[int] = None,
                     payloads[position] = future.result()
     summary = FleetSummary(shards=len(shards), hits=hits,
                            misses=len(pending), workers=workers,
-                           resumed=resume)
+                           resumed=resume, corrupt=corrupt)
     return FleetResult(payloads=payloads, summary=summary)

@@ -164,10 +164,13 @@ def main(argv=None) -> int:
                        fleet_summary=fleet_summary)
     print(_format_summary(doc))
     if fleet_summary:
+        corrupt = fleet_summary.get("corrupt", 0)
         print(f"[fleet: {fleet_summary['shards']} shard(s): "
               f"{fleet_summary['hits']} cached, "
               f"{fleet_summary['misses']} executed, "
-              f"{fleet_summary['workers']} worker(s)]")
+              f"{fleet_summary['workers']} worker(s)"
+              + (f", {corrupt} corrupt artifact(s) recomputed"
+                 if corrupt else "") + "]")
     print(f"[wrote {(results_dir or 'results')}/{name}.faults.json]")
     return 0
 

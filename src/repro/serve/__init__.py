@@ -1,0 +1,57 @@
+"""repro.serve — simulation-as-a-service: the fault-tolerant job layer.
+
+ROADMAP item 2: a long-running, stdlib-only HTTP job service wrapping
+the simulator so many concurrent clients can sweep configurations
+against one warm process — and *one bad job can never take the service
+down*.  Four pieces (rank 4, above the fleet substrate it reuses):
+
+* :mod:`repro.serve.jobs` — lifecycle records, the bounded job queue
+  (backpressure: ``429`` + ``Retry-After``), crash-safe persistence of
+  every mutation for SIGTERM-drain/restart;
+* :mod:`repro.serve.executor` — one child process per attempt, worker
+  -crash detection with bounded seeded-backoff retries, wall-clock
+  timeouts on top of the ``max_sim_cycles`` watchdog, and the circuit
+  breaker that degrades the service after consecutive worker deaths;
+* :mod:`repro.serve.service` — the facade + ``http.server`` front end;
+  result documents are fleet cache artifacts served byte-identically;
+* :mod:`repro.serve.probe` — the scripted ``service_probe`` shard the
+  integration tier drives failures with.
+
+Run it: ``python -m repro.serve --state-dir state`` (see
+``python -m repro.serve --help``).
+"""
+
+from .executor import JobExecutor, error_artifact_path, run_attempt
+from .jobs import (SERVICE_FORMAT, TERMINAL_STATES, Job, JobStateError,
+                   JobStore, QueueFullError, ServiceError,
+                   UnknownJobError, queue_document)
+from .probe import run_probe_shard
+from .service import (DEGRADED_RETRY_AFTER, QUEUE_RETRY_AFTER,
+                      BadRequestError, JobServer, ServiceCounters,
+                      ServiceRequestHandler, ServiceUnavailableError,
+                      SimulationService, stats_document)
+
+__all__ = [
+    "BadRequestError",
+    "DEGRADED_RETRY_AFTER",
+    "Job",
+    "JobExecutor",
+    "JobServer",
+    "JobStateError",
+    "JobStore",
+    "QUEUE_RETRY_AFTER",
+    "QueueFullError",
+    "SERVICE_FORMAT",
+    "ServiceCounters",
+    "ServiceError",
+    "ServiceRequestHandler",
+    "ServiceUnavailableError",
+    "SimulationService",
+    "TERMINAL_STATES",
+    "UnknownJobError",
+    "error_artifact_path",
+    "queue_document",
+    "run_attempt",
+    "run_probe_shard",
+    "stats_document",
+]

@@ -1,0 +1,115 @@
+"""Run the simulation job service.
+
+Usage::
+
+    python -m repro.serve --state-dir DIR [--host HOST] [--port PORT]
+        [--workers N] [--queue-bound N] [--max-retries N]
+        [--breaker-threshold K] [--timeout-seconds S]
+        [--chaos-kill N] [--no-resume]
+
+The service listens until SIGTERM/SIGINT, then shuts down gracefully:
+it stops accepting jobs, drains running attempts, and persists the
+queue crash-safely under ``--state-dir`` — a restarted service with the
+same state dir resumes the queue and completes it with byte-identical
+results.  ``--port 0`` binds an ephemeral port; either way the bound
+endpoint is written to ``<state-dir>/service.endpoint.json`` for
+subprocess clients.  ``--chaos-kill N`` SIGKILLs the first N worker
+children (fault injection for the recovery tests — not for production).
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+from typing import List, Optional
+
+from .service import JobServer, SimulationService
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    host = "127.0.0.1"
+    port = 8484
+    state_dir: Optional[str] = None
+    workers = 2
+    queue_bound = 16
+    max_retries = 2
+    breaker_threshold = 3
+    timeout_seconds = 60.0
+    chaos_kills = 0
+    resume = True
+
+    def _take(flag: str) -> str:
+        if not args:
+            print(f"{flag} requires a value\n{__doc__}")
+            raise SystemExit(2)
+        return args.pop(0)
+
+    while args:
+        arg = args.pop(0)
+        try:
+            if arg == "--host":
+                host = _take(arg)
+            elif arg == "--port":
+                port = int(_take(arg))
+            elif arg == "--state-dir":
+                state_dir = _take(arg)
+            elif arg == "--workers":
+                workers = int(_take(arg))
+            elif arg == "--queue-bound":
+                queue_bound = int(_take(arg))
+            elif arg == "--max-retries":
+                max_retries = int(_take(arg))
+            elif arg == "--breaker-threshold":
+                breaker_threshold = int(_take(arg))
+            elif arg == "--timeout-seconds":
+                timeout_seconds = float(_take(arg))
+            elif arg == "--chaos-kill":
+                chaos_kills = int(_take(arg))
+            elif arg == "--no-resume":
+                resume = False
+            elif arg in ("-h", "--help"):
+                print(__doc__)
+                return 0
+            else:
+                print(f"unknown flag {arg}\n{__doc__}")
+                return 2
+        except ValueError as error:
+            print(f"bad value for {arg}: {error}")
+            return 2
+    if state_dir is None:
+        print(f"--state-dir is required\n{__doc__}")
+        return 2
+
+    service = SimulationService(
+        state_dir, workers=workers, queue_bound=queue_bound,
+        max_retries=max_retries, breaker_threshold=breaker_threshold,
+        default_timeout_seconds=timeout_seconds,
+        chaos_kills=chaos_kills, resume=resume).start()
+    server = JobServer(service, host=host, port=port).start()
+    server.write_endpoint(service.state_dir / "service.endpoint.json")
+    if service.restored:
+        print(f"[serve: restored {service.restored} job(s) from "
+              f"{service.store.state_path}]")
+    print(f"[serve: listening on http://{server.host}:{server.port}, "
+          f"{workers} worker(s), queue bound {queue_bound}]", flush=True)
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    stop.wait()
+    print("[serve: draining...]", flush=True)
+    server.shutdown()
+    service.shutdown(drain=True)
+    print(f"[serve: drained; queue persisted to "
+          f"{service.store.state_path}]", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

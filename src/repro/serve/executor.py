@@ -1,0 +1,299 @@
+"""Fault-isolated job execution: one child process per attempt.
+
+Every attempt runs in its own ``multiprocessing.Process`` so that *no
+simulation failure mode can take the service down*:
+
+* a **crash** (SIGKILL'd worker, segfault, ``os._exit``) surfaces as a
+  nonzero exit code — the attempt is retried with bounded, *seeded*
+  exponential backoff (the jitter derives from the shard key and the
+  attempt number, so a retry schedule is reproducible), and a job that
+  exhausts its retries lands in the terminal ``failed`` state carrying
+  the exit code — never a hung client;
+* a **deterministic simulation error** (bad workload, the
+  ``max_sim_cycles`` watchdog's :class:`~repro.engine.clock.
+  SimulationHangError`) is written by the child as a crash-safe error
+  artifact and is *not* retried — rerunning a pure function cannot
+  change its answer;
+* a **wall-clock overrun** kills the child and resolves the job
+  ``timed_out``.
+
+K *consecutive* crashes flip the **circuit breaker**: the service
+reports degraded on ``/readyz`` and rejects new submissions while
+completed results stay served from the content-addressed cache; the
+next successful attempt closes the breaker.
+
+Each child starts behind :func:`repro.engine.process_state.
+ensure_guarded`, so attempts are byte-identical to a fresh interpreter
+run — which is what lets a retried (even chaos-killed) job produce the
+exact bytes the serial CLI path writes.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import signal
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from ..engine import process_state
+from ..engine.clock import set_default_max_cycles
+from ..fleet.cache import shard_cache_path, store_shard_result
+from ..fleet.shards import Shard, execute_shard
+from ..obs.export import write_json
+from .jobs import Job, JobStore
+
+
+def _wall_now() -> float:
+    """Wall-clock read for deadlines/backoff: service-harness time,
+    never simulated time (hence the explicit lint waiver)."""
+    return time.monotonic()  # simlint: disable=SL001
+
+
+def error_artifact_path(cache_dir, key: str) -> Path:
+    """Where a child records a deterministic simulation error.
+
+    Deliberately *not* ``*.json`` so cache scans never mistake it for
+    a shard artifact.
+    """
+    return Path(cache_dir) / f"{key}.error"
+
+
+def run_attempt(kind: str, params: Dict[str, Any],
+                manifest: Dict[str, Any], max_sim_cycles: Optional[int],
+                cache_dir: str, error_path: str) -> None:
+    """Child-process body: execute one shard attempt.
+
+    Exit code 0 plus a cache artifact means success; exit code 0 plus
+    an error artifact means a deterministic simulation error (terminal,
+    no retry); any other exit is a worker death the parent retries.
+    Top-level and JSON-argument-only, so it is picklable under every
+    multiprocessing start method.
+    """
+    process_state.ensure_guarded()
+    if max_sim_cycles is not None:
+        set_default_max_cycles(max_sim_cycles)
+    shard = Shard(kind=kind, index=0, params=params, manifest=manifest)
+    try:
+        payload = execute_shard(shard)
+    except Exception as error:
+        write_json(error_path,
+                   {"error": f"{type(error).__name__}: {error}"})
+        return
+    store_shard_result(cache_dir, shard, payload)
+
+
+class JobExecutor:
+    """Worker threads that drain the store through child processes."""
+
+    def __init__(self, store: JobStore, counters, cache_dir, *,
+                 workers: int = 2, max_retries: int = 2,
+                 backoff_base_seconds: float = 0.05,
+                 backoff_cap_seconds: float = 2.0,
+                 breaker_threshold: int = 3,
+                 default_timeout_seconds: float = 60.0,
+                 chaos_kills: int = 0) -> None:
+        if workers < 1:
+            raise ValueError(f"executor needs >= 1 worker, got {workers}")
+        self._store = store
+        self._counters = counters
+        self._cache_dir = Path(cache_dir)
+        self.workers = workers
+        self._max_retries = max_retries
+        self._backoff_base = backoff_base_seconds
+        self._backoff_cap = backoff_cap_seconds
+        self._breaker_threshold = breaker_threshold
+        self._default_timeout = default_timeout_seconds
+        self._lock = threading.Lock()
+        self._consecutive_deaths = 0
+        self._degraded = False
+        self._chaos_remaining = chaos_kills
+        self._stopping = threading.Event()
+        self._threads = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "JobExecutor":
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"serve-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, drain: bool = True,
+             timeout: Optional[float] = None) -> None:
+        """Stop claiming new jobs; with *drain*, wait for running
+        attempts (including their bounded retries) to finish."""
+        self._store.set_draining(True)
+        self._stopping.set()
+        if drain:
+            for thread in self._threads:
+                thread.join(timeout)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the circuit breaker is open."""
+        return self._degraded
+
+    # -- circuit breaker -----------------------------------------------------
+
+    def _note_death(self) -> None:
+        self._counters.worker_deaths.increment()
+        with self._lock:
+            self._consecutive_deaths += 1
+            if self._consecutive_deaths >= self._breaker_threshold:
+                self._degraded = True
+
+    def _note_alive(self) -> None:
+        """Any attempt whose worker *survived* closes the breaker —
+        including deterministic failures: the breaker tracks worker
+        health, not simulation correctness."""
+        with self._lock:
+            self._consecutive_deaths = 0
+            self._degraded = False
+
+    # -- execution -----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stopping.is_set():
+            job = self._store.claim(timeout=0.1)
+            if job is None:
+                continue
+            try:
+                self._run_job(job)
+            except Exception as error:  # belt and braces: a worker
+                # thread must survive anything a job throws at it.
+                self._store.resolve(job, "failed",
+                                    error=f"executor error: "
+                                          f"{type(error).__name__}: "
+                                          f"{error}")
+                self._counters.failed.increment()
+
+    def _run_job(self, job: Job) -> None:
+        while True:
+            outcome, detail = self._attempt(job)
+            if outcome == "done":
+                self._note_alive()
+                self._store.resolve(job, "done")
+                self._counters.completed.increment()
+                return
+            if outcome == "sim_error":
+                self._note_alive()
+                self._store.resolve(job, "failed", error=detail)
+                self._counters.failed.increment()
+                return
+            if outcome == "timeout":
+                self._store.resolve(job, "timed_out", error=detail)
+                self._counters.timeouts.increment()
+                return
+            if outcome == "cancelled":
+                self._store.resolve(job, "cancelled")
+                self._counters.cancelled.increment()
+                return
+            # outcome == "died": a worker crash, the retryable class.
+            self._note_death()
+            if job.attempts > self._max_retries:
+                self._store.resolve(
+                    job, "failed",
+                    error=f"{detail} after {job.attempts} attempt(s)")
+                self._counters.failed.increment()
+                return
+            self._counters.retries.increment()
+            time.sleep(self.backoff_delay(job.key, job.attempts))
+
+    def _attempt(self, job: Job) -> Tuple[str, Optional[str]]:
+        """Run one child-process attempt; returns (outcome, detail)."""
+        self._store.note_attempt(job)
+        error_path = error_artifact_path(self._cache_dir, job.key)
+        try:
+            error_path.unlink()
+        except OSError:
+            pass
+        context = multiprocessing.get_context()
+        child = context.Process(
+            target=run_attempt,
+            args=(job.kind, job.params, job.manifest, job.max_sim_cycles,
+                  str(self._cache_dir), str(error_path)))
+        child.start()
+        self._maybe_chaos_kill(child)
+        timeout = (job.timeout_seconds if job.timeout_seconds is not None
+                   else self._default_timeout)
+        deadline = _wall_now() + timeout
+        outcome = None
+        while child.is_alive():
+            if job.cancel_requested:
+                outcome = ("cancelled", None)
+                break
+            if _wall_now() >= deadline:
+                outcome = ("timeout",
+                           f"wall-clock timeout after {timeout}s "
+                           f"(attempt {job.attempts})")
+                break
+            child.join(0.05)
+        if outcome is not None:
+            child.kill()
+            child.join()
+            return outcome
+        child.join()
+        if child.exitcode != 0:
+            return ("died",
+                    f"worker process died (exit code {child.exitcode})")
+        detail = self._read_error_artifact(error_path)
+        if detail is not None:
+            return ("sim_error", detail)
+        if shard_cache_path(self._cache_dir, _ShardKey(job)).is_file():
+            return ("done", None)
+        return ("died", "worker exited without producing a result")
+
+    def _read_error_artifact(self, error_path: Path) -> Optional[str]:
+        try:
+            doc = json.loads(error_path.read_text())
+        except (OSError, ValueError):
+            return None
+        message = doc.get("error") if isinstance(doc, dict) else None
+        return message if isinstance(message, str) else None
+
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """Seeded exponential backoff with jitter, capped.
+
+        Deterministic in (shard key, attempt): the same crashed job
+        retries on the same schedule every time, which keeps the
+        recovery tests reproducible.  The delay doubles per attempt up
+        to the cap; jitter scales it into ``[0.5x, 1.0x]`` so a burst
+        of crashed jobs does not retry in lockstep.
+        """
+        spread = min(self._backoff_cap,
+                     self._backoff_base * (2 ** max(0, attempt - 1)))
+        jitter = random.Random(int(key[:16], 16) + attempt).random()
+        return spread * (0.5 + jitter / 2)
+
+    def _maybe_chaos_kill(self, child) -> None:
+        """Fault injection: SIGKILL the first N children (--chaos-kill).
+
+        This is the deterministic driver for the kill-worker recovery
+        and circuit-breaker tests — a real crash, delivered by the real
+        signal, at a controlled point.
+        """
+        with self._lock:
+            if self._chaos_remaining <= 0:
+                return
+            self._chaos_remaining -= 1
+        os.kill(child.pid, signal.SIGKILL)
+
+
+class _ShardKey:
+    """Adapter giving :func:`shard_cache_path` a job's content key."""
+
+    __slots__ = ("_key",)
+
+    def __init__(self, job: Job):
+        self._key = job.key
+
+    def key(self) -> str:
+        return self._key

@@ -1,0 +1,334 @@
+"""Job records and the bounded, crash-safe job store.
+
+A **job** is one shard submission flowing through the service
+lifecycle::
+
+    queued -> running -> done
+                      -> failed      (worker died out of retries, or a
+                                      deterministic simulation error)
+                      -> timed_out   (wall-clock deadline killed it)
+             queued/running -> cancelled
+
+The store enforces **backpressure**: at most ``bound`` jobs may sit in
+the queued state; a submission beyond that raises
+:class:`QueueFullError`, which the HTTP layer maps to ``429`` +
+``Retry-After`` — the queue can never grow without limit.
+
+Every mutation is **persisted** through the crash-safe
+:func:`~repro.obs.export.write_json` as a ``*.queue.json`` document
+(validated against :data:`~repro.obs.schema.SERVICE_QUEUE_SCHEMA` on
+both write and read), so a SIGTERM'd — or SIGKILL'd — service restarts
+exactly where it stopped: terminal jobs keep serving their results,
+queued jobs run, and jobs caught mid-attempt are re-queued with their
+attempt count intact.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional
+
+from ..obs.export import write_json
+from ..obs.schema import (JOB_RECORD_SCHEMA, JOB_STATES,
+                          SERVICE_QUEUE_SCHEMA, validate)
+
+#: Layout version of the persisted queue document.
+SERVICE_FORMAT = 1
+
+#: States a job never leaves (their results/errors are final).
+TERMINAL_STATES = ("done", "failed", "timed_out", "cancelled")
+
+
+class ServiceError(RuntimeError):
+    """Base class of every job-service error."""
+
+
+class QueueFullError(ServiceError):
+    """The bounded queue rejected a submission (HTTP 429)."""
+
+    def __init__(self, bound: int, retry_after: int = 1):
+        super().__init__(
+            f"job queue is full ({bound} queued job(s)); retry after "
+            f"{retry_after}s or raise --queue-bound")
+        self.bound = bound
+        self.retry_after = retry_after
+
+
+class UnknownJobError(ServiceError):
+    """No job under the requested id (HTTP 404)."""
+
+    def __init__(self, job_id: str):
+        super().__init__(f"unknown job id {job_id!r}")
+        self.job_id = job_id
+
+
+class JobStateError(ServiceError):
+    """The job's current state forbids the request (HTTP 409)."""
+
+
+class Job:
+    """One submission's mutable lifecycle record."""
+
+    __slots__ = ("job_id", "kind", "state", "attempts", "key", "params",
+                 "manifest", "error", "cached", "max_sim_cycles",
+                 "timeout_seconds", "cancel_requested")
+
+    def __init__(self, job_id: str, kind: str, key: str,
+                 params: Dict[str, Any], manifest: Dict[str, Any],
+                 state: str = "queued", attempts: int = 0,
+                 error: Optional[str] = None, cached: bool = False,
+                 max_sim_cycles: Optional[int] = None,
+                 timeout_seconds: Optional[float] = None):
+        if state not in JOB_STATES:
+            raise ServiceError(f"unknown job state {state!r}; "
+                               f"valid: {', '.join(JOB_STATES)}")
+        self.job_id = job_id
+        self.kind = kind
+        self.state = state
+        self.attempts = attempts
+        self.key = key
+        self.params = params
+        self.manifest = manifest
+        self.error = error
+        self.cached = cached
+        self.max_sim_cycles = max_sim_cycles
+        self.timeout_seconds = timeout_seconds
+        #: Runtime-only flag (not persisted): a DELETE arrived while the
+        #: job was running; the executor kills the attempt and resolves
+        #: the job to ``cancelled`` at its next poll.
+        self.cancel_requested = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The job's JSON record (``GET /jobs/<id>``, queue entries)."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "state": self.state,
+            "attempts": self.attempts,
+            "key": self.key,
+            "params": self.params,
+            "manifest": self.manifest,
+            "error": self.error,
+            "cached": self.cached,
+            "max_sim_cycles": self.max_sim_cycles,
+            "timeout_seconds": self.timeout_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "Job":
+        validate(record, JOB_RECORD_SCHEMA, "job record")
+        return cls(job_id=record["job_id"], kind=record["kind"],
+                   key=record["key"], params=record["params"],
+                   manifest=record["manifest"], state=record["state"],
+                   attempts=record["attempts"], error=record["error"],
+                   cached=record["cached"],
+                   max_sim_cycles=record["max_sim_cycles"],
+                   timeout_seconds=record["timeout_seconds"])
+
+    def __repr__(self) -> str:
+        return (f"Job({self.job_id} {self.kind} {self.state} "
+                f"attempts={self.attempts})")
+
+
+class JobStore:
+    """All jobs the service knows, plus the bounded pending queue.
+
+    Thread-safe: the HTTP handler threads submit/cancel/read while the
+    executor's worker threads claim and resolve.  Persistence happens
+    inside the lock, so the on-disk document is always a consistent
+    snapshot (and :func:`~repro.obs.export.write_json` makes each write
+    atomic on its own).
+    """
+
+    def __init__(self, bound: int,
+                 state_path: Optional[Path] = None) -> None:
+        if bound < 1:
+            raise ServiceError(f"queue bound must be >= 1, got {bound}")
+        self.bound = bound
+        self.state_path = Path(state_path) if state_path else None
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._pending: Deque[str] = deque()
+        self._running: int = 0
+        self._sequence: int = 0
+        self._draining = False
+
+    # -- identity ------------------------------------------------------------
+
+    def next_job_id(self, key: str) -> str:
+        """A fresh id: submission order plus a content-key prefix."""
+        with self._lock:
+            self._sequence += 1
+            return f"job-{self._sequence:06d}-{key[:12]}"
+
+    # -- submission / claiming ----------------------------------------------
+
+    def add(self, job: Job) -> Job:
+        """Admit *job*: enqueue it, or record it directly if terminal
+        (a cache-hit submission arrives already ``done``).  Raises
+        :class:`QueueFullError` when the pending queue is at bound."""
+        with self._lock:
+            if job.state == "queued":
+                if len(self._pending) >= self.bound:
+                    raise QueueFullError(self.bound)
+                self._jobs[job.job_id] = job
+                self._pending.append(job.job_id)
+                self._ready.notify()
+            else:
+                self._jobs[job.job_id] = job
+            self._save_locked()
+            return job
+
+    def claim(self, timeout: float = 0.1) -> Optional[Job]:
+        """Pop the oldest queued job and mark it running, or ``None``.
+
+        Returns ``None`` after *timeout* seconds without work, and
+        immediately while the store is draining — a draining service
+        finishes what runs but starts nothing new.
+        """
+        with self._ready:
+            self._ready.wait_for(
+                lambda: self._pending and not self._draining,
+                timeout=timeout)
+            if self._draining or not self._pending:
+                return None
+            job = self._jobs[self._pending.popleft()]
+            job.state = "running"
+            self._running += 1
+            self._save_locked()
+            return job
+
+    def note_attempt(self, job: Job) -> int:
+        """Count (and persist) the start of one execution attempt."""
+        with self._lock:
+            job.attempts += 1
+            self._save_locked()
+            return job.attempts
+
+    def resolve(self, job: Job, state: str, error: Optional[str] = None,
+                cached: bool = False) -> Job:
+        """Move *job* to a terminal *state* and persist the queue."""
+        if state not in TERMINAL_STATES:
+            raise ServiceError(f"resolve() needs a terminal state, "
+                               f"got {state!r}")
+        with self._lock:
+            if job.state == "running":
+                self._running -= 1
+            job.state = state
+            job.error = error
+            job.cached = cached
+            job.cancel_requested = False
+            self._save_locked()
+            return job
+
+    # -- cancellation --------------------------------------------------------
+
+    def request_cancel(self, job_id: str) -> Job:
+        """Cancel a queued job now, or flag a running one for the
+        executor to kill; terminal jobs raise :class:`JobStateError`."""
+        with self._lock:
+            job = self._get_locked(job_id)
+            if job.terminal:
+                raise JobStateError(
+                    f"job {job_id} is already {job.state}; nothing to "
+                    f"cancel")
+            if job.state == "queued":
+                self._pending.remove(job_id)
+                job.state = "cancelled"
+                self._save_locked()
+            else:
+                job.cancel_requested = True
+            return job
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            return self._get_locked(job_id)
+
+    def _get_locked(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(job_id) from None
+
+    def jobs(self) -> List[Job]:
+        """Every job, submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def running_count(self) -> int:
+        with self._lock:
+            return self._running
+
+    # -- draining ------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def set_draining(self, draining: bool = True) -> None:
+        with self._ready:
+            self._draining = bool(draining)
+            self._ready.notify_all()
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self) -> Optional[Path]:
+        """Persist the queue document (no-op without a state path)."""
+        with self._lock:
+            return self._save_locked()
+
+    def _save_locked(self) -> Optional[Path]:
+        if self.state_path is None:
+            return None
+        doc = queue_document([job.to_dict()
+                              for job in self._jobs.values()])
+        validate(doc, SERVICE_QUEUE_SCHEMA, "service queue")
+        return write_json(self.state_path, doc)
+
+    def load(self) -> int:
+        """Restore a persisted queue; returns the number of jobs.
+
+        Jobs persisted as ``running`` were mid-attempt when the service
+        stopped: they re-enter the queue (attempt count intact) and run
+        again — the content-addressed result cache makes the re-run
+        free when the attempt actually finished.  A missing state file
+        restores nothing; an invalid one raises, because silently
+        dropping a queue is worse than failing loudly at startup.
+        """
+        if self.state_path is None or not self.state_path.is_file():
+            return 0
+        doc = json.loads(self.state_path.read_text())
+        validate(doc, SERVICE_QUEUE_SCHEMA, "service queue")
+        with self._lock:
+            for record in doc["jobs"]:
+                job = Job.from_dict(record)
+                if job.state == "running":
+                    job.state = "queued"
+                if job.state == "queued":
+                    self._pending.append(job.job_id)
+                self._jobs[job.job_id] = job
+                tail = job.job_id.split("-")[1]
+                if tail.isdigit():
+                    self._sequence = max(self._sequence, int(tail))
+            self._ready.notify_all()
+            self._save_locked()
+            return len(self._jobs)
+
+
+def queue_document(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Assemble the persisted ``*.queue.json`` document."""
+    return {"service_format": SERVICE_FORMAT, "jobs": records}

@@ -1,0 +1,54 @@
+"""The ``service_probe`` shard: a controllable diagnostic workload.
+
+Integration tests and operators need jobs whose *failure behaviour* is
+scripted — a job that holds a worker for a while (backpressure tests),
+one that raises (terminal-failure tests), one that dies like a crashed
+worker (retry and circuit-breaker tests) — without dragging a real
+simulation's runtime into every service test.  The probe's *payload*
+stays a pure function of its params, so probes cache and replay
+byte-identically like any other shard:
+
+``probe``
+    Echoed into the payload; unique values defeat cache sharing
+    between tests.
+``spin_ms``
+    Hold the worker process for this many milliseconds.
+``fail``
+    Raise ``RuntimeError(fail)`` — the deterministic simulation-error
+    path (terminal ``failed``, no retry).
+``die_token_dir``
+    Consume one ``die-*`` token file from this directory and SIGKILL
+    the worker process.  Each token kills exactly one attempt, so "K
+    crashes then success" is scripted by dropping K tokens — the
+    deterministic stand-in for a flaky worker.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+from ..fleet.shards import Shard
+
+
+def run_probe_shard(shard: Shard) -> Dict[str, Any]:
+    """Execute one probe (the ``service_probe`` fleet runner)."""
+    params = shard.params
+    token_dir = params.get("die_token_dir")
+    if token_dir:
+        for token in sorted(Path(token_dir).glob("die-*")):
+            try:
+                token.unlink()
+            except OSError:
+                continue  # another attempt raced us to this token
+            os.kill(os.getpid(), signal.SIGKILL)
+    failure = params.get("fail")
+    if failure:
+        raise RuntimeError(str(failure))
+    spin_ms = params.get("spin_ms", 0)
+    if spin_ms:
+        time.sleep(spin_ms / 1000.0)
+    return {"probe": params.get("probe"), "spin_ms": spin_ms}

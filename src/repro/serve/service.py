@@ -1,0 +1,425 @@
+"""The job-service facade and its stdlib HTTP front end.
+
+:class:`SimulationService` owns the pieces — bounded
+:class:`~repro.serve.jobs.JobStore`, fault-isolating
+:class:`~repro.serve.executor.JobExecutor`, the fleet's
+content-addressed shard cache as the **golden-run cache** — and maps
+them onto the HTTP surface:
+
+==========================  ============================================
+``POST /jobs``              submit (schema-validated body); ``201``, or
+                            ``429`` + ``Retry-After`` when the queue is
+                            at bound, ``503`` when degraded/draining
+``GET /jobs``               every job record, submission order
+``GET /jobs/<id>``          lifecycle record (state + attempt count)
+``GET /jobs/<id>/result``   the raw cache artifact bytes — validated on
+                            read, byte-identical to the serial path
+``DELETE /jobs/<id>``       cancel (queued: immediate; running: the
+                            executor kills the attempt)
+``GET /healthz``            liveness (always 200 while serving)
+``GET /readyz``             readiness; 503 + flags when degraded or
+                            draining
+``GET /stats``              service counters + the StatsRegistry tree
+==========================  ============================================
+
+A submission is compiled to a :class:`~repro.fleet.shards.Shard` —
+``SystemConfig`` overrides resolve against the stock Table 2 config,
+the manifest is the deterministic half of a
+:class:`~repro.obs.manifest.RunManifest` — so the job's result document
+*is* a fleet cache artifact: identical submissions (and fleet sweeps of
+the same points) share one content address, are served without
+re-simulation, and every serving path returns the same bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlparse
+
+from ..config import DEFAULT_CONFIG, ConfigError
+from ..engine.stats import StatsRegistry
+from ..fleet.cache import (MISS, SHARD_CACHE_SCHEMA, probe_shard_result,
+                           shard_cache_path)
+from ..fleet.shards import Shard, ShardError
+from ..obs.export import write_json
+from ..obs.manifest import RunManifest
+from ..obs.schema import (JOB_RECORD_SCHEMA, JOB_SCHEMA,
+                          SERVICE_ENDPOINT_SCHEMA, SERVICE_STATS_SCHEMA,
+                          schema_errors, validate)
+from .executor import JobExecutor
+from .jobs import (Job, JobStateError, JobStore, QueueFullError,
+                   ServiceError, UnknownJobError)
+
+#: ``Retry-After`` seconds suggested on queue-full (429) rejections.
+QUEUE_RETRY_AFTER = 1
+#: ``Retry-After`` seconds suggested while degraded/draining (503).
+DEGRADED_RETRY_AFTER = 5
+
+
+class BadRequestError(ServiceError):
+    """Malformed submission (HTTP 400)."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """Degraded or draining: not accepting work (HTTP 503)."""
+
+    def __init__(self, message: str,
+                 retry_after: int = DEGRADED_RETRY_AFTER):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceCounters:
+    """The service-level counters, registered on a stats tree."""
+
+    def __init__(self) -> None:
+        self.registry = StatsRegistry("serve")
+        self.submitted = self.registry.counter("submitted")
+        self.completed = self.registry.counter("completed")
+        self.failed = self.registry.counter("failed")
+        self.timed_out = self.registry.counter("timed_out")
+        self.cancelled = self.registry.counter("cancelled")
+        self.retries = self.registry.counter("retries")
+        self.timeouts = self.registry.counter("timeouts")
+        self.rejections = self.registry.counter("rejections")
+        self.cache_hits = self.registry.counter("cache_hits")
+        self.worker_deaths = self.registry.counter("worker_deaths")
+
+
+def stats_document(service: Dict[str, Any],
+                   registry: Dict[str, Any]) -> Dict[str, Any]:
+    """Assemble the ``GET /stats`` document (SERVICE_STATS_SCHEMA)."""
+    return {"service": service, "registry": registry}
+
+
+class SimulationService:
+    """Everything behind the HTTP surface, usable directly in-process."""
+
+    def __init__(self, state_dir, *, workers: int = 2,
+                 queue_bound: int = 16, max_retries: int = 2,
+                 breaker_threshold: int = 3,
+                 default_timeout_seconds: float = 60.0,
+                 backoff_base_seconds: float = 0.05,
+                 chaos_kills: int = 0, resume: bool = True) -> None:
+        self.state_dir = Path(state_dir)
+        self.cache_dir = self.state_dir / "cache"
+        self.counters = ServiceCounters()
+        self.store = JobStore(
+            queue_bound,
+            state_path=self.state_dir / "service.queue.json")
+        self.restored = self.store.load() if resume else 0
+        self.executor = JobExecutor(
+            self.store, self.counters, self.cache_dir, workers=workers,
+            max_retries=max_retries, breaker_threshold=breaker_threshold,
+            default_timeout_seconds=default_timeout_seconds,
+            backoff_base_seconds=backoff_base_seconds,
+            chaos_kills=chaos_kills)
+
+    def start(self) -> "SimulationService":
+        self.executor.start()
+        return self
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Graceful stop: refuse new work, drain running attempts,
+        persist the queue (the SIGTERM path)."""
+        self.store.set_draining(True)
+        self.executor.stop(drain=drain, timeout=timeout)
+        self.store.save()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, body: Any) -> Dict[str, Any]:
+        """Admit one validated submission; returns its job record."""
+        if self.store.draining:
+            self.counters.rejections.increment()
+            raise ServiceUnavailableError(
+                "service is draining; not accepting new jobs")
+        if self.executor.degraded:
+            self.counters.rejections.increment()
+            raise ServiceUnavailableError(
+                "service is degraded (circuit breaker open after "
+                "consecutive worker deaths); completed results are "
+                "still served")
+        problems = schema_errors(body, JOB_SCHEMA)
+        if problems:
+            raise BadRequestError("invalid submission:\n  "
+                                  + "\n  ".join(problems))
+        shard = self._compile(body)
+        job = Job(job_id=self.store.next_job_id(shard.key()),
+                  kind=shard.kind, key=shard.key(), params=shard.params,
+                  manifest=shard.manifest,
+                  max_sim_cycles=body.get("max_sim_cycles"),
+                  timeout_seconds=body.get("timeout_seconds"))
+        self.counters.submitted.increment()
+        cached, _ = probe_shard_result(self.cache_dir, shard)
+        if cached is not MISS:
+            job.state = "done"
+            job.cached = True
+            self.counters.cache_hits.increment()
+            self.counters.completed.increment()
+            self.store.add(job)
+        else:
+            try:
+                self.store.add(job)
+            except QueueFullError:
+                self.counters.rejections.increment()
+                raise
+        return self.job_record(job.job_id)
+
+    def _compile(self, body: Dict[str, Any]) -> Shard:
+        """A submission body -> the shard the fleet would build.
+
+        Config overrides apply on top of the stock Table 2 defaults;
+        anything :class:`~repro.config.SystemConfig` rejects — unknown
+        fields, structurally invalid values — is the client's error.
+        """
+        overrides = body.get("config") or {}
+        try:
+            config = dataclasses.replace(DEFAULT_CONFIG, **overrides)
+        except (TypeError, ConfigError) as error:
+            raise BadRequestError(f"invalid config overrides: {error}") \
+                from None
+        run = body.get("run") or f"serve:{body['kind']}"
+        manifest = RunManifest.create(
+            run, config=config,
+            seed=body.get("seed")).deterministic_dict()
+        try:
+            return Shard(kind=body["kind"], index=0,
+                         params=body["params"], manifest=manifest)
+        except ShardError as error:
+            raise BadRequestError(str(error)) from None
+
+    # -- reads ---------------------------------------------------------------
+
+    def job_record(self, job_id: str) -> Dict[str, Any]:
+        """One job's validated lifecycle record."""
+        record = self.store.get(job_id).to_dict()
+        validate(record, JOB_RECORD_SCHEMA, "job record")
+        return record
+
+    def job_records(self) -> Dict[str, Any]:
+        return {"jobs": [job.to_dict() for job in self.store.jobs()]}
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The job's result document, as the exact bytes on disk.
+
+        Serving the artifact's raw bytes (after validating it) is what
+        makes the byte-identity guarantee *trivially* true: computed,
+        retried-after-crash and cache-served jobs all answer with the
+        same file.
+        """
+        job = self.store.get(job_id)
+        if job.state != "done":
+            raise JobStateError(
+                f"job {job_id} is {job.state}, not done"
+                + (f": {job.error}" if job.error else ""))
+        path = shard_cache_path(self.cache_dir, _JobKey(job.key))
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            raise UnknownJobError(job_id) from None
+        doc = json.loads(raw.decode("utf-8"))
+        validate(doc, SHARD_CACHE_SCHEMA, "result document")
+        return raw
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        record = self.store.request_cancel(job_id).to_dict()
+        validate(record, JOB_RECORD_SCHEMA, "job record")
+        return record
+
+    # -- health / stats ------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return {"ok": True}
+
+    def readyz(self) -> Tuple[int, Dict[str, Any]]:
+        degraded = self.executor.degraded
+        draining = self.store.draining
+        ready = not degraded and not draining
+        return (200 if ready else 503,
+                {"ready": ready, "degraded": degraded,
+                 "draining": draining})
+
+    def stats(self) -> Dict[str, Any]:
+        counters = self.counters
+        service = {
+            "workers": self.executor.workers,
+            "queue_bound": self.store.bound,
+            "queue_depth": self.store.queue_depth(),
+            "running": self.store.running_count(),
+            "degraded": self.executor.degraded,
+            "draining": self.store.draining,
+            "submitted": counters.submitted.value,
+            "completed": counters.completed.value,
+            "failed": counters.failed.value,
+            "timed_out": counters.timed_out.value,
+            "cancelled": counters.cancelled.value,
+            "retries": counters.retries.value,
+            "timeouts": counters.timeouts.value,
+            "rejections": counters.rejections.value,
+            "cache_hits": counters.cache_hits.value,
+            "worker_deaths": counters.worker_deaths.value,
+        }
+        doc = stats_document(service, counters.registry.to_dict())
+        validate(doc, SERVICE_STATS_SCHEMA, "service stats")
+        return doc
+
+
+class _JobKey:
+    """Adapter giving :func:`shard_cache_path` a stored content key."""
+
+    __slots__ = ("_key",)
+
+    def __init__(self, key: str):
+        self._key = key
+
+    def key(self) -> str:
+        return self._key
+
+
+# -- HTTP front end ----------------------------------------------------------
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes the HTTP surface onto a :class:`SimulationService`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        pass  # request logging is the tests' job, not stderr's
+
+    @property
+    def service(self) -> SimulationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    def _dispatch(self, verb: str) -> None:
+        path = urlparse(self.path).path.rstrip("/") or "/"
+        try:
+            self._route(verb, path)
+        except BadRequestError as error:
+            self._send_json(400, {"error": str(error)})
+        except UnknownJobError as error:
+            self._send_json(404, {"error": str(error)})
+        except JobStateError as error:
+            self._send_json(409, {"error": str(error)})
+        except QueueFullError as error:
+            self._send_json(429, {"error": str(error)},
+                            headers={"Retry-After":
+                                     str(error.retry_after)})
+        except ServiceUnavailableError as error:
+            self._send_json(503, {"error": str(error)},
+                            headers={"Retry-After":
+                                     str(error.retry_after)})
+        except Exception as error:  # the service must answer, always
+            self._send_json(500, {"error": f"{type(error).__name__}: "
+                                           f"{error}"})
+
+    def _route(self, verb: str, path: str) -> None:
+        service = self.service
+        if verb == "GET" and path == "/healthz":
+            return self._send_json(200, service.healthz())
+        if verb == "GET" and path == "/readyz":
+            code, doc = service.readyz()
+            return self._send_json(code, doc)
+        if verb == "GET" and path == "/stats":
+            return self._send_json(200, service.stats())
+        if verb == "GET" and path == "/jobs":
+            return self._send_json(200, service.job_records())
+        if verb == "POST" and path == "/jobs":
+            return self._send_json(201, service.submit(self._body()))
+        parts = path.strip("/").split("/")
+        if parts[0] == "jobs" and len(parts) == 2:
+            if verb == "GET":
+                return self._send_json(200,
+                                       service.job_record(parts[1]))
+            if verb == "DELETE":
+                return self._send_json(200, service.cancel(parts[1]))
+        if parts[0] == "jobs" and len(parts) == 3 \
+                and parts[2] == "result" and verb == "GET":
+            return self._send_bytes(200, service.result_bytes(parts[1]))
+        self._send_json(404, {"error": f"no route for {verb} {path}"})
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise BadRequestError("request body required")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise BadRequestError(f"body is not JSON: {error}") from None
+
+    def _send_json(self, code: int, doc: Any,
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        body = (json.dumps(doc, indent=2, sort_keys=True) + "\n").encode()
+        self._send_bytes(code, body, headers)
+
+    def _send_bytes(self, code: int, body: bytes,
+                    headers: Optional[Dict[str, str]] = None) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class JobServer:
+    """A :class:`ThreadingHTTPServer` bound to one service."""
+
+    def __init__(self, service: SimulationService,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self._httpd = ThreadingHTTPServer((host, port),
+                                          ServiceRequestHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self.service = service
+        self.host = self._httpd.server_address[0]
+        self.port = self._httpd.server_address[1]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "JobServer":
+        """Serve in a background thread (tests, and the CLI's main
+        thread then just waits for a stop signal)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="serve-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def write_endpoint(self, path) -> None:
+        """Persist where we bound (subprocess clients read this)."""
+        doc = {"host": self.host, "port": self.port, "pid": os.getpid()}
+        validate(doc, SERVICE_ENDPOINT_SCHEMA, "service endpoint")
+        write_json(path, doc)
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+        self._httpd.server_close()

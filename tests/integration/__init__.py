@@ -1,0 +1,6 @@
+"""End-to-end job-service suites (``pytest -m integration``).
+
+These drive the real HTTP surface — sockets, worker child processes,
+SIGTERM'd subprocesses — so they live behind the ``integration``
+marker, out of the default fast tier; CI's ``service`` job runs them.
+"""

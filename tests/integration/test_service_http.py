@@ -1,0 +1,366 @@
+"""The job service end-to-end, over real HTTP.
+
+The contract under test (DESIGN.md "Service", ISSUE acceptance):
+
+* submit -> poll -> fetch works over the wire, and the fetched result
+  document is byte-identical to what the serial fleet path writes for
+  the same shard — same content key, same bytes;
+* concurrent clients each get their own job and their own result;
+* an identical resubmission is served from the golden-run cache as an
+  already-``done`` job, again byte-identically;
+* a full queue answers ``429`` + ``Retry-After`` and recovers once a
+  queued job is cancelled;
+* a SIGKILL'd worker is retried and the retried job's result is
+  byte-identical to an undisturbed run;
+* enough consecutive worker deaths open the circuit breaker: ``503``
+  on ``/readyz`` and new submissions, while completed results stay
+  served;
+* wall-clock overruns resolve ``timed_out``; the in-simulation
+  ``max_sim_cycles`` watchdog surfaces as a terminal
+  ``SimulationHangError`` failure;
+* SIGTERM drains the service — the queue persists crash-safely, and a
+  restart with the same state dir resumes it to byte-identical
+  results.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import run_fleet, shard_cache_path
+from repro.eval.sparsity_sweep import sparsity_shards
+from repro.obs.schema import (SERVICE_QUEUE_SCHEMA, SERVICE_STATS_SCHEMA,
+                              validate)
+from repro.serve import SimulationService, JobServer
+
+pytestmark = pytest.mark.integration
+
+
+# -- HTTP plumbing -----------------------------------------------------------
+
+def _request(base, method, path, body=None, timeout=30):
+    data = (json.dumps(body).encode("utf-8")
+            if body is not None else None)
+    request = urllib.request.Request(base + path, data=data,
+                                     method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def _wait(base, job_id, timeout=60.0,
+          settled=("done", "failed", "timed_out", "cancelled")):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        code, _, body = _request(base, "GET", f"/jobs/{job_id}")
+        assert code == 200, body
+        record = json.loads(body)
+        if record["state"] in settled:
+            return record
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never reached {settled}")
+
+
+@contextmanager
+def _serving(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("backoff_base_seconds", 0.01)
+    kwargs.setdefault("resume", False)
+    service = SimulationService(tmp_path / "state", **kwargs).start()
+    server = JobServer(service).start()
+    try:
+        yield service, server.url
+    finally:
+        server.shutdown()
+        service.shutdown()
+
+
+def _submit(base, body, expect=201):
+    code, headers, raw = _request(base, "POST", "/jobs", body)
+    assert code == expect, raw
+    return json.loads(raw), headers
+
+
+# -- the lifecycle, byte-identity and sharing with the fleet -----------------
+
+class TestLifecycle:
+    def test_submit_poll_fetch_matches_the_serial_fleet_path(
+            self, tmp_path):
+        shards = sparsity_shards(8, 8, [0.0, 0.5], 21)
+        with _serving(tmp_path) as (service, base):
+            record, _ = _submit(base, {
+                "kind": "sparsity_point", "run": "sparsity_sweep",
+                "seed": 21,
+                "params": {"rows": 8, "cols": 8, "fraction": 0.5,
+                           "matrix_seed": 22}})
+            assert record["state"] in ("queued", "running")
+            assert record["key"] == shards[1].key()  # shares the
+            # fleet's content address, hence its cache entries
+            record = _wait(base, record["job_id"])
+            assert record["state"] == "done"
+            code, _, served = _request(
+                base, "GET", f"/jobs/{record['job_id']}/result")
+            assert code == 200
+
+        fleet_dir = tmp_path / "fleet-cache"
+        run_fleet([shards[1]], workers=1, resume=False,
+                  cache_dir=fleet_dir)
+        golden = shard_cache_path(fleet_dir, shards[1]).read_bytes()
+        assert served == golden  # byte-identical across paths
+
+    def test_concurrent_clients_each_get_their_own_result(self, tmp_path):
+        with _serving(tmp_path, workers=2) as (service, base):
+            results = {}
+            errors = []
+
+            def client(tag):
+                try:
+                    record, _ = _submit(base, {
+                        "kind": "service_probe",
+                        "params": {"probe": tag}})
+                    record = _wait(base, record["job_id"])
+                    assert record["state"] == "done", record
+                    _, _, raw = _request(
+                        base, "GET", f"/jobs/{record['job_id']}/result")
+                    results[tag] = json.loads(raw)["payload"]["probe"]
+                except Exception as error:  # surface in the main thread
+                    errors.append((tag, error))
+
+            tags = [f"client-{index}" for index in range(6)]
+            threads = [threading.Thread(target=client, args=(tag,))
+                       for tag in tags]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(120)
+            assert not errors
+            assert results == {tag: tag for tag in tags}
+
+    def test_identical_resubmission_is_a_cache_hit(self, tmp_path):
+        body = {"kind": "service_probe", "params": {"probe": "twice"}}
+        with _serving(tmp_path) as (service, base):
+            first, _ = _submit(base, body)
+            first = _wait(base, first["job_id"])
+            second, _ = _submit(base, body)
+            assert second["state"] == "done"  # never queued
+            assert second["cached"] is True
+            _, _, raw1 = _request(base, "GET",
+                                  f"/jobs/{first['job_id']}/result")
+            _, _, raw2 = _request(base, "GET",
+                                  f"/jobs/{second['job_id']}/result")
+            assert raw1 == raw2
+            _, _, stats = _request(base, "GET", "/stats")
+            doc = json.loads(stats)
+            validate(doc, SERVICE_STATS_SCHEMA, "stats")
+            assert doc["service"]["cache_hits"] == 1
+            assert doc["service"]["submitted"] == 2
+
+
+# -- backpressure ------------------------------------------------------------
+
+class TestBackpressure:
+    def test_full_queue_rejects_429_until_a_cancel_frees_it(
+            self, tmp_path):
+        with _serving(tmp_path, workers=1, queue_bound=2) as (service,
+                                                              base):
+            slow, _ = _submit(base, {
+                "kind": "service_probe",
+                "params": {"probe": "slow", "spin_ms": 10_000}})
+            _wait(base, slow["job_id"], settled=("running",))
+            queued = [_submit(base, {"kind": "service_probe",
+                                     "params": {"probe": f"q{index}"}})[0]
+                      for index in range(2)]
+            rejected, headers = _submit(
+                base, {"kind": "service_probe",
+                       "params": {"probe": "overflow"}}, expect=429)
+            assert headers.get("Retry-After") == "1"
+            assert "queue is full" in rejected["error"]
+
+            code, _, raw = _request(
+                base, "DELETE", f"/jobs/{queued[0]['job_id']}")
+            assert code == 200 and json.loads(raw)["state"] == "cancelled"
+            _submit(base, {"kind": "service_probe",
+                           "params": {"probe": "fits-now"}})
+            # cancelling the running job kills its attempt mid-spin
+            code, _, raw = _request(base, "DELETE",
+                                    f"/jobs/{slow['job_id']}")
+            assert code == 200
+            record = _wait(base, slow["job_id"])
+            assert record["state"] == "cancelled"
+            code, _, _ = _request(base, "DELETE",
+                                  f"/jobs/{slow['job_id']}")
+            assert code == 409  # already terminal
+
+
+# -- fault tolerance ---------------------------------------------------------
+
+class TestFaultTolerance:
+    def test_sigkilled_worker_retries_to_byte_identical_result(
+            self, tmp_path):
+        tokens = tmp_path / "tokens"
+        tokens.mkdir()
+        (tokens / "die-1").write_text("x")
+        body = {"kind": "service_probe",
+                "params": {"probe": "chaos",
+                           "die_token_dir": str(tokens)}}
+        with _serving(tmp_path / "a", workers=1) as (service, base):
+            record, _ = _submit(base, body)
+            record = _wait(base, record["job_id"])
+            assert record["state"] == "done"
+            assert record["attempts"] == 2  # SIGKILL, then success
+            _, _, survived = _request(
+                base, "GET", f"/jobs/{record['job_id']}/result")
+        # the same submission, undisturbed (tokens all consumed)
+        with _serving(tmp_path / "b", workers=1) as (service, base):
+            record, _ = _submit(base, body)
+            record = _wait(base, record["job_id"])
+            assert record["attempts"] == 1
+            _, _, undisturbed = _request(
+                base, "GET", f"/jobs/{record['job_id']}/result")
+        assert survived == undisturbed
+
+    def test_breaker_degrades_but_keeps_serving_results(self, tmp_path):
+        tokens = tmp_path / "tokens"
+        tokens.mkdir()
+        with _serving(tmp_path, workers=1, max_retries=0,
+                      breaker_threshold=2) as (service, base):
+            good, _ = _submit(base, {"kind": "service_probe",
+                                     "params": {"probe": "keepsake"}})
+            good = _wait(base, good["job_id"])
+            assert good["state"] == "done"
+
+            for index in range(2):
+                (tokens / f"die-{index}").write_text("x")
+                doomed, _ = _submit(base, {
+                    "kind": "service_probe",
+                    "params": {"probe": f"crash-{index}",
+                               "die_token_dir": str(tokens)}})
+                record = _wait(base, doomed["job_id"])
+                assert record["state"] == "failed"
+
+            code, _, raw = _request(base, "GET", "/readyz")
+            assert code == 503
+            flags = json.loads(raw)
+            assert flags["degraded"] is True and flags["ready"] is False
+            rejected, headers = _submit(
+                base, {"kind": "service_probe",
+                       "params": {"probe": "nope"}}, expect=503)
+            assert "degraded" in rejected["error"]
+            assert headers.get("Retry-After") == "5"
+            # completed work still serves while degraded
+            code, _, raw = _request(base, "GET",
+                                    f"/jobs/{good['job_id']}/result")
+            assert code == 200
+            _, _, health = _request(base, "GET", "/healthz")
+            assert json.loads(health) == {"ok": True}
+
+    def test_wall_clock_timeout(self, tmp_path):
+        with _serving(tmp_path, workers=1) as (service, base):
+            record, _ = _submit(base, {
+                "kind": "service_probe", "timeout_seconds": 0.3,
+                "params": {"probe": "molasses", "spin_ms": 30_000}})
+            record = _wait(base, record["job_id"])
+            assert record["state"] == "timed_out"
+            assert "wall-clock timeout" in record["error"]
+            code, _, _ = _request(
+                base, "GET", f"/jobs/{record['job_id']}/result")
+            assert code == 409
+
+    def test_max_sim_cycles_watchdog_is_a_terminal_failure(
+            self, tmp_path):
+        with _serving(tmp_path, workers=1, max_retries=3) as (service,
+                                                              base):
+            record, _ = _submit(base, {
+                "kind": "sparsity_point", "run": "sparsity_sweep",
+                "seed": 21, "max_sim_cycles": 10,
+                "params": {"rows": 8, "cols": 8, "fraction": 0.5,
+                           "matrix_seed": 22}})
+            record = _wait(base, record["job_id"])
+            assert record["state"] == "failed"
+            assert "SimulationHangError" in record["error"]
+            assert record["attempts"] == 1  # deterministic: no retry
+
+
+# -- graceful shutdown and restart -------------------------------------------
+
+class TestDrainAndRestart:
+    def _read_endpoint(self, state_dir, process, timeout=30.0):
+        path = state_dir / "service.endpoint.json"
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                raise AssertionError(
+                    f"service exited early: {process.stdout.read()}")
+            if path.is_file():
+                doc = json.loads(path.read_text())
+                return f"http://{doc['host']}:{doc['port']}"
+            time.sleep(0.05)
+        raise AssertionError("service never wrote its endpoint")
+
+    def test_sigterm_drains_and_a_restart_resumes_byte_identically(
+            self, tmp_path):
+        state_dir = tmp_path / "state"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parents[2] / "src")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--port", "0",
+             "--state-dir", str(state_dir), "--workers", "1"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        try:
+            base = self._read_endpoint(state_dir, process)
+            slow, _ = _submit(base, {
+                "kind": "service_probe",
+                "params": {"probe": "inflight", "spin_ms": 1_000}})
+            _wait(base, slow["job_id"], settled=("running",))
+            queued = [_submit(base, {"kind": "service_probe",
+                                     "params": {"probe": f"later-{i}"}})[0]
+                      for i in range(2)]
+            process.send_signal(signal.SIGTERM)
+            output = process.communicate(timeout=120)[0]
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, output
+        assert "draining" in output and "queue persisted" in output
+
+        queue_doc = json.loads(
+            (state_dir / "service.queue.json").read_text())
+        validate(queue_doc, SERVICE_QUEUE_SCHEMA, "drained queue")
+        by_id = {record["job_id"]: record
+                 for record in queue_doc["jobs"]}
+        assert by_id[slow["job_id"]]["state"] == "done"  # drained
+        for record in queued:
+            assert by_id[record["job_id"]]["state"] == "queued"
+
+        # restart on the same state dir: the queue resumes
+        with _serving(tmp_path, workers=1, resume=True) as (service,
+                                                            base):
+            assert service.restored == 3
+            resumed = [_wait(base, record["job_id"])
+                       for record in queued]
+            assert [r["state"] for r in resumed] == ["done", "done"]
+            _, _, raw = _request(
+                base, "GET", f"/jobs/{queued[0]['job_id']}/result")
+        # byte-identical to the same submission on a fresh service
+        with _serving(tmp_path / "fresh", workers=1) as (service, base):
+            record, _ = _submit(base, {"kind": "service_probe",
+                                       "params": {"probe": "later-0"}})
+            record = _wait(base, record["job_id"])
+            _, _, fresh = _request(
+                base, "GET", f"/jobs/{record['job_id']}/result")
+        assert raw == fresh

@@ -31,8 +31,9 @@ from repro.eval.sparsity_sweep import run_sparsity_sweep, sparsity_shards
 from repro.fleet import (FALLBACK_WORKERS, FLEET_FORMAT, MISS, Shard,
                          ShardError, WORKERS_ENV, default_fleet_resume,
                          default_fleet_workers, execute_shard,
-                         load_shard_result, resolve_worker_count, run_fleet,
-                         scan_cache, set_default_fleet, shard_cache_path,
+                         load_shard_result, probe_shard_result,
+                         resolve_worker_count, run_fleet, scan_cache,
+                         set_default_fleet, shard_cache_path,
                          store_shard_result)
 from repro.robust.campaign import run_campaign
 
@@ -149,6 +150,42 @@ class TestCache:
     def test_scan_cache_on_missing_directory(self, tmp_path):
         assert list(scan_cache(tmp_path / "nowhere")) == []
 
+    def test_probe_distinguishes_absent_from_corrupt(self, tmp_path):
+        shard = _shard()
+        assert probe_shard_result(tmp_path, shard) == (MISS, False)
+        shard_cache_path(tmp_path, shard).parent.mkdir(exist_ok=True)
+        shard_cache_path(tmp_path, shard).write_text("{ torn")
+        payload, corrupt = probe_shard_result(tmp_path, shard)
+        assert payload is MISS and corrupt
+
+    def test_scan_skips_and_counts_corrupt_artifacts(self, tmp_path,
+                                                     capsys):
+        shard = _shard()
+        store_shard_result(tmp_path, shard, {"v": 1})
+        (tmp_path / ("0" * 64 + ".json")).write_text("{ torn")
+        (tmp_path / ("1" * 64 + ".json")).write_text('{"not": "a shard"}')
+        scan = scan_cache(tmp_path)
+        assert list(scan) == [shard.key()]
+        assert scan.corrupt == 2 and scan.scanned == 3
+        err = capsys.readouterr().err
+        assert err.count("corrupt artifact") == 1
+
+    def test_run_fleet_recomputes_corrupt_entries(self, tmp_path):
+        shards = sparsity_shards(16, 16, [0.0, 0.5], 21)
+        golden = run_fleet(shards, workers=1, resume=True,
+                           cache_dir=tmp_path)
+        path = shard_cache_path(tmp_path, shards[0])
+        good = path.read_bytes()
+        path.write_text("{ torn")
+        rerun = run_fleet(shards, workers=1, resume=True,
+                          cache_dir=tmp_path)
+        assert rerun.payloads == golden.payloads
+        assert rerun.summary.hits == 1 and rerun.summary.misses == 1
+        assert rerun.summary.corrupt == 1
+        assert path.read_bytes() == good
+        assert "corrupt" in rerun.summary.describe()
+        assert "corrupt" not in golden.summary.describe()
+
 
 class TestFleetDefaults:
     def test_defaults_are_registered_process_state(self):
@@ -186,7 +223,7 @@ class TestFleetMerge:
         assert ((tmp_path / "s" / "serial.faults.json").read_bytes()
                 == (tmp_path / "f" / "serial.faults.json").read_bytes())
         assert summary == {"shards": 4, "hits": 0, "misses": 4,
-                           "workers": 2, "resumed": False}
+                           "workers": 2, "resumed": False, "corrupt": 0}
 
     def test_single_worker_runs_in_process(self, tmp_path):
         serial = run_campaign("one", results_dir=tmp_path / "s", **CAMPAIGN)
@@ -232,7 +269,7 @@ class TestFleetMerge:
                                    cache_dir=tmp_path, fleet_summary=rerun)
         assert again == serial
         assert rerun == {"shards": 6, "hits": 6, "misses": 0,
-                         "workers": 1, "resumed": True}
+                         "workers": 1, "resumed": True, "corrupt": 0}
 
     def test_run_fleet_merges_in_shard_order(self, tmp_path):
         shards = sparsity_shards(16, 16, [0.0, 0.5, 0.9], 21)
@@ -310,7 +347,7 @@ class TestResumeAfterKill:
                                results_dir=results, fleet_workers=1,
                                resume=True, fleet_summary=summary)
         assert summary == {"shards": 6, "hits": 6, "misses": 0,
-                           "workers": 1, "resumed": True}
+                           "workers": 1, "resumed": True, "corrupt": 0}
         assert resumed == golden
         assert ((results / "kill.faults.json").read_bytes()
                 == (tmp_path / "golden" / "kill.faults.json").read_bytes())

@@ -1,0 +1,306 @@
+"""The job service's unit surface (DESIGN.md "Service").
+
+The contract under test, in-process (the HTTP surface lives in
+``tests/integration/``):
+
+* job records round-trip through ``JOB_RECORD_SCHEMA`` and the store
+  enforces the queue bound, FIFO claiming, cancellation rules and
+  crash-safe persistence (running jobs re-queue with attempts intact);
+* retry backoff is seeded — deterministic per (key, attempt), doubling
+  to a cap, jittered into ``[0.5x, 1.0x]``;
+* submissions are validated before any work happens: schema violations,
+  unknown shard kinds and bad config overrides are all client errors;
+* the executor classifies outcomes: success, deterministic simulation
+  error (terminal, never retried), worker death (retried with bounded
+  backoff, then terminal ``failed``);
+* :class:`~repro.engine.clock.SimulationHangError` survives pickling,
+  so hangs inside process pools surface as themselves rather than as
+  an opaque ``BrokenProcessPool``.
+"""
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.engine.clock import SimulationHangError
+from repro.obs.schema import (JOB_RECORD_SCHEMA, SERVICE_QUEUE_SCHEMA,
+                              SERVICE_STATS_SCHEMA, SchemaError,
+                              schema_errors, validate)
+from repro.serve import (Job, JobStateError, JobStore, QueueFullError,
+                         ServiceError, SimulationService, UnknownJobError)
+from repro.serve.executor import JobExecutor
+
+
+def _job(job_id="job-000001-abc", state="queued", attempts=0):
+    return Job(job_id=job_id, kind="service_probe", key="ab" * 32,
+               params={"probe": job_id}, manifest=_manifest(),
+               state=state, attempts=attempts)
+
+
+def _manifest():
+    from repro.obs.manifest import RunManifest
+    return RunManifest.create("serve:test", seed=7).deterministic_dict()
+
+
+def _wait(service, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = service.job_record(job_id)
+        if record["state"] not in ("queued", "running"):
+            return record
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never settled")
+
+
+class TestHangErrorPickling:
+    def test_roundtrip_preserves_diagnosis(self):
+        error = SimulationHangError(10, {"cycles": 10, "pc": 4})
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, SimulationHangError)
+        assert clone.limit == 10
+        assert clone.snapshot == {"cycles": 10, "pc": 4}
+        assert str(clone) == str(error)
+
+    def test_survives_a_process_pool(self):
+        """The original failure mode: a hang raised inside a pool
+        worker must arrive in the parent as itself, not as the opaque
+        unpickling crash it used to be."""
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(_raise_hang)
+            with pytest.raises(SimulationHangError) as caught:
+                future.result(timeout=60)
+        assert caught.value.limit == 3
+
+
+def _raise_hang():
+    raise SimulationHangError(3, {"cycles": 3})
+
+
+class TestJobRecord:
+    def test_to_dict_satisfies_the_record_schema(self):
+        assert schema_errors(_job().to_dict(), JOB_RECORD_SCHEMA) == []
+
+    def test_roundtrip(self):
+        job = _job(state="failed", attempts=3)
+        job.error = "worker process died (exit code -9)"
+        clone = Job.from_dict(job.to_dict())
+        assert clone.to_dict() == job.to_dict()
+
+    def test_unknown_state_is_rejected(self):
+        with pytest.raises(ServiceError, match="unknown job state"):
+            _job(state="exploded")
+
+
+class TestJobStore:
+    def test_fifo_claim_and_bound(self):
+        store = JobStore(bound=2)
+        first = store.add(_job("job-000001-aa"))
+        store.add(_job("job-000002-bb"))
+        with pytest.raises(QueueFullError) as caught:
+            store.add(_job("job-000003-cc"))
+        assert caught.value.retry_after >= 1
+        claimed = store.claim()
+        assert claimed is first and claimed.state == "running"
+        assert store.claim().job_id == "job-000002-bb"
+        assert store.claim(timeout=0.01) is None
+
+    def test_terminal_jobs_bypass_the_queue_bound(self):
+        store = JobStore(bound=1)
+        store.add(_job("job-000001-aa"))
+        store.add(_job("job-000002-bb", state="done"))  # cache hit
+        assert store.queue_depth() == 1
+
+    def test_cancel_queued_running_terminal(self):
+        store = JobStore(bound=4)
+        queued = store.add(_job("job-000001-aa"))
+        running = store.add(_job("job-000002-bb"))
+        store.claim()  # job-000001 -> running
+        assert store.request_cancel("job-000002-bb").state == "cancelled"
+        assert store.request_cancel("job-000001-aa") is queued
+        assert queued.cancel_requested and queued.state == "running"
+        store.resolve(running, "cancelled")
+        with pytest.raises(JobStateError, match="already cancelled"):
+            store.request_cancel("job-000002-bb")
+        with pytest.raises(UnknownJobError):
+            store.request_cancel("job-999999-zz")
+
+    def test_claim_returns_nothing_while_draining(self):
+        store = JobStore(bound=4)
+        store.add(_job())
+        store.set_draining(True)
+        assert store.claim(timeout=0.01) is None
+
+    def test_persistence_requeues_running_jobs(self, tmp_path):
+        path = tmp_path / "service.queue.json"
+        store = JobStore(bound=4, state_path=path)
+        done = _job(store.next_job_id("aa" * 32), state="done")
+        store.add(done)
+        store.add(_job(store.next_job_id("bb" * 32)))
+        midflight = store.add(_job(store.next_job_id("cc" * 32)))
+        claimed = store.claim()
+        assert claimed is not None
+        store.note_attempt(claimed)
+
+        restored = JobStore(bound=4, state_path=path)
+        assert restored.load() == 3
+        revived = restored.get(claimed.job_id)
+        assert revived.state == "queued"  # mid-attempt -> run again
+        assert revived.attempts == 1  # the interrupted attempt counts
+        assert restored.get(done.job_id).state == "done"
+        assert restored.queue_depth() == 2
+        # the restored sequence continues, never reuses ids
+        assert restored.next_job_id("dd" * 32).startswith("job-000004-")
+        assert midflight.job_id.startswith("job-000003-")
+
+    def test_load_rejects_an_invalid_queue_document(self, tmp_path):
+        path = tmp_path / "service.queue.json"
+        path.write_text('{"service_format": 1, "jobs": [{"bad": true}]}')
+        with pytest.raises(SchemaError):
+            JobStore(bound=4, state_path=path).load()
+
+    def test_missing_state_file_restores_nothing(self, tmp_path):
+        store = JobStore(bound=4, state_path=tmp_path / "nope.queue.json")
+        assert store.load() == 0
+
+
+class TestBackoff:
+    def _executor(self, **kwargs):
+        kwargs.setdefault("backoff_base_seconds", 0.05)
+        kwargs.setdefault("backoff_cap_seconds", 2.0)
+        return JobExecutor(JobStore(bound=1), None, "unused", **kwargs)
+
+    def test_deterministic_per_key_and_attempt(self):
+        executor = self._executor()
+        key = "1f" * 32
+        assert (executor.backoff_delay(key, 1)
+                == executor.backoff_delay(key, 1))
+        assert (executor.backoff_delay(key, 1)
+                != executor.backoff_delay(key, 2))
+        assert (executor.backoff_delay(key, 1)
+                != executor.backoff_delay("2e" * 32, 1))
+
+    def test_doubles_to_the_cap_within_jitter_bounds(self):
+        executor = self._executor(backoff_base_seconds=0.1,
+                                  backoff_cap_seconds=0.4)
+        for attempt, spread in ((1, 0.1), (2, 0.2), (3, 0.4), (9, 0.4)):
+            delay = executor.backoff_delay("ab" * 32, attempt)
+            assert spread * 0.5 <= delay <= spread, (attempt, delay)
+
+
+class TestSubmissionValidation:
+    """submit() rejects bad input before any simulation work."""
+
+    @pytest.fixture
+    def service(self, tmp_path):
+        # never .start()ed: validation must not need workers
+        return SimulationService(tmp_path / "state", resume=False)
+
+    def test_schema_violations_are_bad_requests(self, service):
+        from repro.serve import BadRequestError
+        for body in (None, [], {}, {"kind": "service_probe"},
+                     {"kind": "service_probe", "params": {},
+                      "surprise": 1},
+                     {"kind": 7, "params": {}}):
+            with pytest.raises(BadRequestError):
+                service.submit(body)
+
+    def test_unknown_shard_kind_is_a_bad_request(self, service):
+        from repro.serve import BadRequestError
+        with pytest.raises(BadRequestError, match="unknown shard kind"):
+            service.submit({"kind": "warp_drive", "params": {}})
+
+    def test_bad_config_overrides_are_bad_requests(self, service):
+        from repro.serve import BadRequestError
+        with pytest.raises(BadRequestError, match="invalid config"):
+            service.submit({"kind": "service_probe", "params": {},
+                            "config": {"no_such_knob": 1}})
+        with pytest.raises(BadRequestError, match="invalid config"):
+            service.submit({"kind": "service_probe", "params": {},
+                            "config": {"page_size": 1000}})
+
+    def test_stats_and_queue_documents_validate(self, service, tmp_path):
+        validate(service.stats(), SERVICE_STATS_SCHEMA, "stats")
+        service.store.save()
+        import json
+        doc = json.loads(
+            (tmp_path / "state" / "service.queue.json").read_text())
+        validate(doc, SERVICE_QUEUE_SCHEMA, "queue")
+
+
+class TestExecutorOutcomes:
+    """The failure taxonomy, driven through real child processes."""
+
+    def _service(self, tmp_path, **kwargs):
+        kwargs.setdefault("workers", 1)
+        kwargs.setdefault("backoff_base_seconds", 0.01)
+        kwargs.setdefault("resume", False)
+        service = SimulationService(tmp_path / "state", **kwargs).start()
+        return service
+
+    def test_success(self, tmp_path):
+        service = self._service(tmp_path)
+        try:
+            record = service.submit({"kind": "service_probe",
+                                     "params": {"probe": "ok"}})
+            record = _wait(service, record["job_id"])
+            assert record["state"] == "done"
+            assert record["attempts"] == 1
+            payload = service.result_bytes(record["job_id"])
+            assert b'"probe": "ok"' in payload
+        finally:
+            service.shutdown()
+
+    def test_deterministic_error_is_terminal_without_retry(self, tmp_path):
+        service = self._service(tmp_path, max_retries=5)
+        try:
+            record = service.submit({"kind": "service_probe",
+                                     "params": {"probe": "sad",
+                                                "fail": "boom"}})
+            record = _wait(service, record["job_id"])
+            assert record["state"] == "failed"
+            assert record["attempts"] == 1  # pure function: no retry
+            assert "RuntimeError: boom" in record["error"]
+            with pytest.raises(JobStateError, match="failed"):
+                service.result_bytes(record["job_id"])
+        finally:
+            service.shutdown()
+
+    def test_worker_death_retries_then_succeeds(self, tmp_path):
+        tokens = tmp_path / "tokens"
+        tokens.mkdir()
+        (tokens / "die-1").write_text("x")
+        service = self._service(tmp_path, max_retries=2)
+        try:
+            record = service.submit(
+                {"kind": "service_probe",
+                 "params": {"probe": "flaky",
+                            "die_token_dir": str(tokens)}})
+            record = _wait(service, record["job_id"])
+            assert record["state"] == "done"
+            assert record["attempts"] == 2  # one crash, one success
+            assert service.counters.retries.value == 1
+            assert service.counters.worker_deaths.value == 1
+            assert not service.executor.degraded
+        finally:
+            service.shutdown()
+
+    def test_worker_death_exhausts_retries(self, tmp_path):
+        tokens = tmp_path / "tokens"
+        tokens.mkdir()
+        for index in range(4):
+            (tokens / f"die-{index}").write_text("x")
+        service = self._service(tmp_path, max_retries=1,
+                                breaker_threshold=99)
+        try:
+            record = service.submit(
+                {"kind": "service_probe",
+                 "params": {"probe": "doomed",
+                            "die_token_dir": str(tokens)}})
+            record = _wait(service, record["job_id"])
+            assert record["state"] == "failed"
+            assert record["attempts"] == 2  # initial + 1 retry
+            assert "after 2 attempt(s)" in record["error"]
+        finally:
+            service.shutdown()
